@@ -1,0 +1,31 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+scenario inside pytest-benchmark (so wall-clock cost is tracked), prints the
+paper-style rows, writes them to ``benchmarks/results/``, and asserts the
+qualitative *shape* the paper reports.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines):
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====")
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a scenario exactly once under pytest-benchmark."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return runner

@@ -1,0 +1,93 @@
+"""Sec. VII-F, experience 1 — the RNIC QP-context cache barely matters.
+
+"According to our evaluation upon ConnectX-4, cache influence on
+performance is almost below 10% even when the number of QPs grows up to
+60K."  We sweep the live QP count past the NIC's context-cache capacity
+(scaled: 64-entry cache, up to 512 QPs) and measure ping-pong latency on
+one victim connection while all QPs carry background traffic.
+"""
+
+from statistics import mean
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.rnic import Opcode, QpState, WorkRequest
+from repro.sim import MICROS, SECONDS, SimParams
+
+from .conftest import emit
+
+CACHE_ENTRIES = 64
+
+
+def run_with_qps(total_qps: int) -> float:
+    """Victim ping-pong latency (µs) with ``total_qps`` active QPs."""
+    params = SimParams(nic_qp_cache_entries=CACHE_ENTRIES)
+    cluster = build_cluster(2, params=params)
+    from tests.conftest import establish
+    sim = cluster.sim
+    client, server = cluster.host(0), cluster.host(1)
+
+    conns = [establish(cluster, 0, 1, service_port=7000 + i)
+             for i in range(total_qps)]
+    victim_c, victim_s = conns[0]
+
+    def background(conn_c, conn_s, offset):
+        """Sparse zero-byte writes cycle every QP through the NIC's
+        context cache without saturating the transmit engine (~15%
+        utilization regardless of QP count)."""
+        yield sim.timeout(offset)
+        while True:
+            yield client.verbs.post_send(conn_c.qp, WorkRequest(
+                opcode=Opcode.WRITE, length=0, remote_addr=0, rkey=1,
+                signaled=False))
+            yield sim.timeout(total_qps * 15 * MICROS)
+
+    for index, (conn_c, conn_s) in enumerate(conns[1:]):
+        sim.spawn(background(conn_c, conn_s, index * 15 * MICROS))
+
+    latencies = []
+
+    def victim():
+        for _ in range(64):
+            yield server.verbs.post_recv(victim_s.qp, WorkRequest(
+                opcode=Opcode.RECV, length=256))
+        for index in range(24):
+            # Infrequent pings: every other QP gets touched in between,
+            # so at high QP counts the victim's context is evicted.
+            yield sim.timeout(2000 * MICROS)
+            t0 = sim.now
+            yield client.verbs.post_send(victim_c.qp, WorkRequest(
+                opcode=Opcode.SEND, length=64, signaled=False))
+            while not victim_s.qp.recv_cq.poll(1):
+                yield sim.timeout(200)
+            if index >= 4:
+                latencies.append(sim.now - t0)
+
+    proc = sim.spawn(victim())
+    sim.run_until_event(proc, limit=120 * SECONDS)
+    return mean(latencies) / 1000
+
+
+def test_sec7f_qp_context_cache_influence(once):
+    counts = [8, 128, 512]
+
+    def run():
+        return {count: run_with_qps(count) for count in counts}
+
+    rows = once(run)
+    base = rows[counts[0]]
+    lines = [f"{'QPs':>6} {'latency(us)':>12} {'vs 8 QPs':>9}"]
+    for count in counts:
+        lines.append(f"{count:>6} {rows[count]:>12.2f} "
+                     f"{rows[count] / base - 1:>8.1%}")
+    lines.append("")
+    lines.append(f"NIC context cache: {CACHE_ENTRIES} entries "
+                 f"(paper: <10% impact up to 60K QPs on CX-4)")
+    emit("sec7f_qp_scaling", lines)
+
+    # The paper's conclusion: cache pressure alone costs ~10% or less.
+    worst = max(rows.values())
+    assert worst / base - 1 < 0.15
+    # But it does cost *something* once the cache overflows.
+    assert rows[counts[-1]] > base

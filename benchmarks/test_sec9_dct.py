@@ -1,0 +1,125 @@
+"""Sec. IX (Discussion) — DCT versus RC for massive connection counts.
+
+The paper's position: "DCT can benefit massive connections to some extent
+but DCT is not mature and stable enough in our tests."  We quantify both
+halves on the simulated substrate:
+
+* **benefit**: one DCI + cheap in-band sessions replace N full RC QPs —
+  orders of magnitude less setup time and fewer NIC objects;
+* **cost**: round-robin fan-out pays a drain+switch on every retarget,
+  so per-message latency degrades versus dedicated RC connections.
+"""
+
+from statistics import mean
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.rnic import Opcode, WorkRequest
+from repro.sim import MICROS, SECONDS
+from tests.conftest import establish, run_process
+
+from .conftest import emit
+
+N_PEERS = 12
+ROUNDS = 6
+
+
+def run_rc():
+    """Dedicated RC QP per peer: expensive setup, cheap fan-out."""
+    cluster = build_cluster(N_PEERS + 1)
+    sim = cluster.sim
+    t0 = sim.now
+    conns = [establish(cluster, 0, peer + 1, service_port=7000)
+             for peer in range(N_PEERS)]
+    setup_ns = sim.now - t0
+    sender = cluster.host(0)
+
+    def prepost():
+        for conn_c, conn_s in conns:
+            host = cluster.hosts[conn_s.local_host]
+            for _ in range(ROUNDS + 2):
+                yield host.verbs.post_recv(conn_s.qp, WorkRequest(
+                    opcode=Opcode.RECV, length=4096))
+
+    run_process(cluster, prepost(), limit=10 * SECONDS)
+    latencies = []
+
+    def fan_out():
+        for _ in range(ROUNDS):
+            for conn_c, conn_s in conns:
+                t_send = sim.now
+                yield sender.verbs.post_send(conn_c.qp, WorkRequest(
+                    opcode=Opcode.SEND, length=512, signaled=False))
+                while not conn_s.qp.recv_cq.poll(1):
+                    yield sim.timeout(500)
+                latencies.append(sim.now - t_send)
+
+    run_process(cluster, fan_out(), limit=60 * SECONDS)
+    qp_objects = N_PEERS * 2     # one at each end per peer
+    return setup_ns, mean(latencies), qp_objects
+
+
+def run_dct():
+    """One DCI, per-peer in-band sessions: cheap setup, switchy fan-out."""
+    cluster = build_cluster(N_PEERS + 1)
+    sim = cluster.sim
+    sender = cluster.host(0)
+    pd = sender.verbs.alloc_pd()
+    cq = sender.verbs.create_cq()
+    dci = sender.verbs.create_dc_initiator(pd, cq)
+
+    targets = []
+    t0 = sim.now
+    for peer in range(N_PEERS):
+        host = cluster.host(peer + 1)
+        t_pd = host.verbs.alloc_pd()
+        t_cq = host.verbs.create_cq()
+        srq = host.verbs.create_srq(depth=128)
+        for _ in range(ROUNDS + 2):
+            srq.post(WorkRequest(opcode=Opcode.RECV, length=4096))
+        targets.append(host.verbs.create_dc_target(t_pd, t_cq, srq))
+    setup_ns = sim.now - t0      # SRQ/DCT creation is host-side & instant
+    latencies = []
+
+    def fan_out():
+        for _ in range(ROUNDS):
+            for peer, target in enumerate(targets):
+                t_send = sim.now
+                dci.post_send(peer + 1, target.dct_num, WorkRequest(
+                    opcode=Opcode.SEND, length=512, signaled=False))
+                while not target.recv_cq.poll(1):
+                    yield sim.timeout(500)
+                latencies.append(sim.now - t_send)
+
+    run_process(cluster, fan_out(), limit=60 * SECONDS)
+    # NIC-side objects: one DCI + per-peer lightweight sessions.
+    return setup_ns, mean(latencies), 1 + dci.session_count, dci.switches
+
+
+def test_sec9_dct_vs_rc(once):
+    def run():
+        return run_rc(), run_dct()
+
+    (rc_setup, rc_latency, rc_qps), \
+        (dc_setup, dc_latency, dc_objects, switches) = once(run)
+
+    lines = [
+        f"{'transport':<6} {'setup(ms)':>10} {'fanout lat(us)':>15} "
+        f"{'NIC objects':>12}",
+        f"{'RC':<6} {rc_setup / 1e6:>10.1f} {rc_latency / 1000:>15.2f} "
+        f"{rc_qps:>12}",
+        f"{'DCT':<6} {dc_setup / 1e6:>10.1f} {dc_latency / 1000:>15.2f} "
+        f"{dc_objects:>12}",
+        "",
+        f"DCI retarget switches during fan-out: {switches}",
+        "paper: DCT benefits massive connections to some extent, but is "
+        "not mature/stable — setup wins, fan-out latency loses",
+    ]
+    emit("sec9_dct_vs_rc", lines)
+
+    # The benefit: establishment collapses (no CM, no create_qp).
+    assert dc_setup < rc_setup / 20
+    # The cost: round-robin fan-out pays for every retarget.
+    assert dc_latency > rc_latency
+    assert switches >= (N_PEERS - 1) * ROUNDS - 1

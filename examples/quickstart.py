@@ -1,0 +1,47 @@
+"""Quickstart: a ping-pong on X-RDMA in a few dozen lines.
+
+Contrast with ``pingpong_raw_verbs.py``, which does the same thing on the
+native verbs API — the Sec. VII-B programming-simplification claim,
+measured by ``benchmarks/test_sec7b_loc.py``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import build_cluster
+from repro.sim import SECONDS
+
+ITERATIONS = 100
+SIZE = 64
+
+
+def main():
+    cluster = build_cluster(n_hosts=2)
+    client = cluster.xrdma_context(0)
+    server = cluster.xrdma_context(1)
+    server.listen(7000)
+    latencies = []
+
+    def server_loop():
+        while True:
+            msg = yield server.incoming.get()
+            server.send_response(msg, msg.payload_size)
+
+    def client_loop():
+        channel = yield from client.connect(1, 7000)
+        for _ in range(ITERATIONS):
+            t0 = cluster.sim.now
+            request = client.send_request(channel, SIZE, payload="ping")
+            yield request.response
+            latencies.append((cluster.sim.now - t0) / 2)
+
+    cluster.sim.spawn(server_loop())
+    done = cluster.sim.spawn(client_loop())
+    cluster.sim.run_until_event(done, limit=60 * SECONDS)
+
+    mean_us = sum(latencies) / len(latencies) / 1000
+    print(f"{ITERATIONS} ping-pongs of {SIZE} B")
+    print(f"mean one-way latency: {mean_us:.2f} us")
+
+
+if __name__ == "__main__":
+    main()

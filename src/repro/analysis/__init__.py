@@ -1,0 +1,26 @@
+"""X-RDMA's built-in analysis framework (Sec. VI).
+
+* :class:`~repro.analysis.tracing.Tracer` — req-rsp tracing: latency
+  decomposition with synchronized clocks, the poll-gap watchdog, and
+  slow-segment logging.
+* :class:`~repro.analysis.clocksync.ClockSync` — the clock-offset service
+  the network-time decomposition needs.
+* :class:`~repro.analysis.stats.LatencyHistogram` — percentile machinery.
+* :class:`~repro.analysis.monitor.Monitor` — the centralized collector the
+  XR-* tools and production figures read from.
+* :class:`~repro.analysis.faultfilter.Filter` — error injection (drops,
+  slow messages) on the data plane, tunable online.
+* :class:`~repro.analysis.mock.Mock` — temporary TCP fallback.
+"""
+
+from repro.analysis.clocksync import ClockSync, HostClock
+from repro.analysis.faultfilter import Filter
+from repro.analysis.mock import Mock
+from repro.analysis.monitor import Monitor
+from repro.analysis.report import series_panel, sparkline, table
+from repro.analysis.stats import LatencyHistogram
+from repro.analysis.tracing import TraceRecord, Tracer
+
+__all__ = ["ClockSync", "Filter", "HostClock", "LatencyHistogram", "Mock",
+           "Monitor", "TraceRecord", "Tracer", "series_panel", "sparkline",
+           "table"]

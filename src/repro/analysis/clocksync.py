@@ -1,0 +1,70 @@
+"""Clock synchronization for latency decomposition (Sec. VI-A, method I).
+
+Each host's clock runs at a fixed skew from simulated time; the tracer's
+``T2 - T1 - Toff`` decomposition needs ``Toff`` estimated the way the
+production service does — an NTP-style exchange whose residual error is
+bounded by the RTT asymmetry, not assumed to be zero.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngRegistry
+
+
+class HostClock:
+    """A host's local clock: simulated time plus a fixed offset."""
+
+    def __init__(self, host_id: int, offset_ns: int):
+        self.host_id = host_id
+        self.offset_ns = offset_ns
+
+    def read(self, sim_now: int) -> int:
+        return sim_now + self.offset_ns
+
+
+class ClockSync:
+    """Cluster clock service: true offsets plus NTP-style estimates."""
+
+    #: bound on the estimate's residual error (one-way asymmetry)
+    RESIDUAL_BOUND_NS = 2_000
+
+    def __init__(self, rng: "RngRegistry", max_skew_ns: int = 1_000_000):
+        self._rng = rng.stream("clocksync")
+        self.max_skew_ns = max_skew_ns
+        self._clocks: Dict[int, HostClock] = {}
+        self._estimates: Dict[Tuple[int, int], int] = {}
+
+    def clock(self, host_id: int) -> HostClock:
+        existing = self._clocks.get(host_id)
+        if existing is None:
+            offset = self._rng.randint(-self.max_skew_ns, self.max_skew_ns)
+            existing = HostClock(host_id, offset)
+            self._clocks[host_id] = existing
+        return existing
+
+    def true_offset(self, a: int, b: int) -> int:
+        """Exact ``clock_b - clock_a`` (ground truth, for tests)."""
+        return self.clock(b).offset_ns - self.clock(a).offset_ns
+
+    def sync(self, a: int, b: int) -> int:
+        """Run one NTP exchange; returns (and caches) the estimated offset.
+
+        The estimate equals the true offset plus a bounded residual from
+        path asymmetry.
+        """
+        residual = self._rng.randint(-self.RESIDUAL_BOUND_NS,
+                                     self.RESIDUAL_BOUND_NS)
+        estimate = self.true_offset(a, b) + residual
+        self._estimates[(a, b)] = estimate
+        self._estimates[(b, a)] = -estimate
+        return estimate
+
+    def offset(self, a: int, b: int) -> int:
+        """Last synced estimate, syncing first if never done."""
+        found = self._estimates.get((a, b))
+        if found is None:
+            return self.sync(a, b)
+        return found

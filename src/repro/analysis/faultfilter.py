@@ -1,0 +1,71 @@
+"""Filter: data-plane fault injection (Sec. VI-C, "Emulate Fault").
+
+Linux netfilter cannot see RDMA traffic, so X-RDMA injects faults in the
+middleware: dropping or delaying messages per rule.  Rules can be enabled
+and disabled online (through XR-Adm in production; directly here).
+
+Attach via ``ctx.filter = Filter(...)``; the context consults it on every
+delivered completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rnic.wqe import Completion
+    from repro.sim.rng import RngStream
+    from repro.xrdma.channel import XrdmaChannel
+
+
+@dataclass
+class FaultRule:
+    """One injection rule; ``channel_id=None`` matches every channel."""
+
+    drop_probability: float = 0.0
+    delay_ns: int = 0
+    delay_probability: float = 0.0
+    channel_id: Optional[int] = None
+    enabled: bool = True
+
+    def matches(self, channel: "XrdmaChannel") -> bool:
+        return self.enabled and (self.channel_id is None
+                                 or self.channel_id == channel.channel_id)
+
+
+class Filter:
+    """The per-context fault injector."""
+
+    def __init__(self, rng: "RngStream"):
+        self.rng = rng
+        self.rules: List[FaultRule] = []
+        self.dropped = 0
+        self.delayed = 0
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def clear(self) -> None:
+        self.rules.clear()
+
+    # ------------------------------------------------------- context queries
+    def should_drop(self, channel: "XrdmaChannel",
+                    completion: "Completion") -> bool:
+        for rule in self.rules:
+            if rule.matches(channel) and rule.drop_probability > 0 \
+                    and self.rng.bernoulli(rule.drop_probability):
+                self.dropped += 1
+                return True
+        return False
+
+    def delay_for(self, channel: "XrdmaChannel",
+                  completion: "Completion") -> int:
+        for rule in self.rules:
+            if rule.matches(channel) and rule.delay_ns > 0:
+                probability = rule.delay_probability or 1.0
+                if self.rng.bernoulli(probability):
+                    self.delayed += 1
+                    return rule.delay_ns
+        return 0

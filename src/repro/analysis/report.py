@@ -1,0 +1,64 @@
+"""Text rendering for monitor series — the dashboards of Figs. 3/8/11/12.
+
+Production X-RDMA feeds a graphical monitoring system; here the benches
+and examples render the same series as unicode sparklines and compact
+tables so a terminal shows the shapes the paper's screenshots show.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a one-line unicode sparkline."""
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        # Downsample by averaging fixed-size chunks.
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):max(int((i + 1) * chunk),
+                                          int(i * chunk) + 1)])
+            / max(len(values[int(i * chunk):max(int((i + 1) * chunk),
+                                                int(i * chunk) + 1)]), 1)
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _BARS[min(int((value - low) / span * (len(_BARS) - 1)),
+                  len(_BARS) - 1)]
+        for value in values)
+
+
+def series_panel(title: str, samples: List[Tuple[int, float]],
+                 unit: str = "", width: int = 60) -> str:
+    """A labelled sparkline with min/max annotations."""
+    if not samples:
+        return f"{title}: (no samples)"
+    values = [value for _, value in samples]
+    line = sparkline(values, width=width)
+    t0, t1 = samples[0][0], samples[-1][0]
+    return (f"{title} [{t0 / 1e6:.0f}..{t1 / 1e6:.0f} ms]\n"
+            f"  {line}\n"
+            f"  min={min(values):.4g}{unit} max={max(values):.4g}{unit} "
+            f"last={values[-1]:.4g}{unit}")
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence],
+          widths: Sequence[int] = None) -> str:
+    """Fixed-width text table."""
+    if widths is None:
+        widths = [max(len(str(header)),
+                      max((len(str(row[i])) for row in rows), default=0)) + 2
+                  for i, header in enumerate(headers)]
+    lines = ["".join(f"{str(header):>{width}}"
+                     for header, width in zip(headers, widths))]
+    for row in rows:
+        lines.append("".join(f"{str(cell):>{width}}"
+                             for cell, width in zip(row, widths)))
+    return "\n".join(lines)

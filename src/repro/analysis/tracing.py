@@ -1,0 +1,130 @@
+"""Req-rsp tracing (Sec. VI-A).
+
+In req-rsp mode each message's header carries a trace id and the sender's
+local timestamp.  The tracer then supports the paper's three case-by-case
+long-latency methods:
+
+I.   **Network decomposition** — with clock-synced hosts, the real request
+     time is ``T2 - T1 - Toff``.
+II.  **Poll-gap watchdog** — the context reports gaps between polling
+     rounds; gaps over ``polling_warn_cycle`` become log entries (this is
+     how the Pangu allocator-lock jitter of Sec. VII-D was found).
+III. **Slow-segment log** — instrumented code segments exceeding
+     ``slow_threshold`` are recorded with their location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.analysis.clocksync import ClockSync
+from repro.analysis.stats import LatencyHistogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.xrdma.channel import XrdmaChannel
+    from repro.xrdma.context import XrdmaContext
+    from repro.xrdma.message import XrdmaMessage
+
+
+@dataclass
+class TraceRecord:
+    """One traced message's decomposition."""
+
+    trace_id: int
+    channel_id: int
+    src_host: int
+    dst_host: int
+    payload_size: int
+    sent_local_ns: int          #: T1, sender's clock
+    received_local_ns: int      #: T2, receiver's clock
+    network_ns: int             #: T2 - T1 - Toff
+    total_ns: int               #: send → app-level ack (sender view)
+
+
+@dataclass
+class SlowLogEntry:
+    location: str
+    duration_ns: int
+    at_ns: int
+    host: int
+
+
+class Tracer:
+    """Per-context tracing hooks; attach via ``ctx.tracer = tracer``."""
+
+    def __init__(self, ctx: "XrdmaContext", clocksync: ClockSync):
+        self.ctx = ctx
+        self.clocksync = clocksync
+        self.clock = clocksync.clock(ctx.nic.host_id)
+        self.records: Dict[int, TraceRecord] = {}
+        self.slow_log: List[SlowLogEntry] = []
+        self.poll_gap_log: List[SlowLogEntry] = []
+        self.latency = LatencyHistogram()
+        self.network_latency = LatencyHistogram()
+        ctx.tracer = self
+
+    # ----------------------------------------------------- context callbacks
+    def _sampled(self, msg: "XrdmaMessage") -> bool:
+        mask = self.ctx.config.trace_sample_mask
+        if mask == 0 or msg.header is None or msg.header.trace_id == 0:
+            return False
+        return msg.header.trace_id % mask == 0 if mask > 1 else True
+
+    def on_message_delivered(self, channel: "XrdmaChannel",
+                             msg: "XrdmaMessage") -> None:
+        """Receiver side: build the network decomposition."""
+        if not self._sampled(msg):
+            return
+        header = msg.header
+        src_host = channel.remote_host
+        dst_host = self.ctx.nic.host_id
+        toff = self.clocksync.offset(src_host, dst_host)
+        received_local = self.clock.read(self.ctx.sim.now)
+        network = received_local - header.sent_at_ns - toff
+        record = TraceRecord(
+            trace_id=header.trace_id, channel_id=channel.channel_id,
+            src_host=src_host, dst_host=dst_host,
+            payload_size=header.payload_size,
+            sent_local_ns=header.sent_at_ns,
+            received_local_ns=received_local,
+            network_ns=network, total_ns=0)
+        self.records[header.trace_id] = record
+        self.network_latency.record(max(network, 0))
+
+    def on_message_acked(self, channel: "XrdmaChannel",
+                         msg: "XrdmaMessage") -> None:
+        """Sender side: end-to-end (send → app ack) latency."""
+        if msg.header is None or msg.header.trace_id == 0:
+            return
+        total = self.ctx.sim.now - msg.created_at
+        self.latency.record(total)
+        record = self.records.get(msg.header.trace_id)
+        if record is not None:
+            record.total_ns = total
+
+    def on_slow_poll(self, ctx: "XrdmaContext", gap_ns: int) -> None:
+        """Method II: the polling watchdog fired."""
+        self.poll_gap_log.append(SlowLogEntry(
+            location="polling", duration_ns=gap_ns,
+            at_ns=ctx.sim.now, host=ctx.nic.host_id))
+
+    # --------------------------------------------------------- app-facing api
+    def segment(self, location: str, duration_ns: int) -> None:
+        """Method III: record an instrumented code segment's duration."""
+        if duration_ns >= self.ctx.config.slow_threshold_ns:
+            self.slow_log.append(SlowLogEntry(
+                location=location, duration_ns=duration_ns,
+                at_ns=self.ctx.sim.now, host=self.ctx.nic.host_id))
+
+    def trace_request(self, msg: "XrdmaMessage") -> Optional[TraceRecord]:
+        """The ``xrdma_trace_request`` API."""
+        if msg.header is None:
+            return None
+        return self.records.get(msg.header.trace_id)
+
+    # ------------------------------------------------------------- summaries
+    def sent_record_sync(self, remote_host: int) -> int:
+        """(Re)sync clocks with ``remote_host``; returns the estimate."""
+        return self.clocksync.sync(self.ctx.nic.host_id, remote_host)

@@ -1,0 +1,141 @@
+"""PolarDB: the cloud-native database (Sec. II-C).
+
+"PolarDB is rather different since there are two modes in its
+implementation: one is for its own back-end and the other is for Pangu.
+Both modes use RDMA."
+
+* **native mode** — the database talks to its own PolarStore nodes
+  directly (PolarFS-style: one hop, 2-way replication at the store).
+* **pangu mode** — I/O goes through a Pangu block server (two hops,
+  3-way chunk replication), reusing :mod:`repro.apps.pangu`.
+
+Fig. 3's per-machine monitoring ("RDMA Send/Receive Ratio" alternating
+with the day) is the traffic this front-end produces under a diurnal
+profile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.apps.pangu import BLOCK_PORT
+from repro.sim.timeunits import MICROS, MILLIS, SECONDS
+from repro.workloads.traces import Knot, rate_at
+from repro.xrdma.channel import ChannelBroken
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+    from repro.xrdma.config import XrdmaConfig
+
+POLARSTORE_PORT = 9350
+#: PolarStore node persistence latency (optane-class, faster than Pangu's)
+_STORE_NS = 8 * MICROS
+
+
+class PolarStoreNode:
+    """Native-mode storage node: accepts replicated page writes."""
+
+    def __init__(self, cluster: "Cluster", host_id: int,
+                 config: Optional["XrdmaConfig"] = None):
+        self.cluster = cluster
+        self.host_id = host_id
+        self.ctx = cluster.xrdma_context(host_id, config=config,
+                                         name=f"polarstore{host_id}")
+        self.pages_written = 0
+        self.ctx.listen(POLARSTORE_PORT)
+        cluster.sim.spawn(self._serve(), name=f"polarstore{host_id}")
+
+    def _serve(self):
+        while True:
+            msg = yield self.ctx.incoming.get()
+            if not msg.is_request:
+                continue
+            yield self.ctx.sim.timeout(_STORE_NS)
+            self.pages_written += 1
+            self.ctx.send_response(msg, 64, payload={"ok": True})
+
+
+class PolarDbFrontend:
+    """The database engine's I/O layer, in either back-end mode."""
+
+    def __init__(self, cluster: "Cluster", host_id: int, mode: str,
+                 store_hosts: Optional[List[int]] = None,
+                 block_server_host: Optional[int] = None,
+                 page_bytes: int = 16 * 1024,
+                 config: Optional["XrdmaConfig"] = None):
+        if mode not in ("native", "pangu"):
+            raise ValueError(f"unknown PolarDB mode {mode!r}")
+        if mode == "native" and not store_hosts:
+            raise ValueError("native mode needs store_hosts")
+        if mode == "pangu" and block_server_host is None:
+            raise ValueError("pangu mode needs a block_server_host")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.mode = mode
+        self.store_hosts = store_hosts or []
+        self.block_server_host = block_server_host
+        self.page_bytes = page_bytes
+        self.ctx = cluster.xrdma_context(host_id, config=config,
+                                         name=f"polardb{host_id}")
+        self._store_channels = []
+        self._pangu_channel = None
+        self.completions: List[Tuple[int, int]] = []
+        self.failures = 0
+
+    def connect(self):
+        """Generator: attach to the configured back-end."""
+        if self.mode == "native":
+            for host in self.store_hosts:
+                channel = yield from self.ctx.connect(host, POLARSTORE_PORT)
+                self._store_channels.append(channel)
+        else:
+            self._pangu_channel = yield from self.ctx.connect(
+                self.block_server_host, BLOCK_PORT)
+
+    def write_page(self):
+        """Generator: one replicated page write; records latency."""
+        t0 = self.sim.now
+        try:
+            if self.mode == "native":
+                # 2-way replication at the front-end (PolarFS chunk pairs).
+                requests = [
+                    self.ctx.send_request(channel, self.page_bytes,
+                                          payload={"op": "put_page"})
+                    for channel in self._store_channels[:2]
+                ]
+                for request in requests:
+                    yield request.response
+            else:
+                request = self.ctx.send_request(
+                    self._pangu_channel, self.page_bytes,
+                    payload={"op": "frontend_write"})
+                yield request.response
+        except ChannelBroken:
+            self.failures += 1
+            return None
+        latency = self.sim.now - t0
+        self.completions.append((self.sim.now, latency))
+        return latency
+
+    def run_pages(self, count: int):
+        """Generator: closed-loop page writes."""
+        if not self._store_channels and self._pangu_channel is None:
+            yield from self.connect()
+        for _ in range(count):
+            yield from self.write_page()
+        return len(self.completions)
+
+    def run_profile(self, profile: List[Knot], duration_ns: int):
+        """Generator: open-loop writes at a time-varying page rate
+        (the Fig. 3 diurnal workload)."""
+        if not self._store_channels and self._pangu_channel is None:
+            yield from self.connect()
+        started = self.sim.now
+        while self.sim.now - started < duration_ns:
+            rate = rate_at(profile, self.sim.now - started)
+            if rate <= 0:
+                yield self.sim.timeout(1 * MILLIS)
+                continue
+            self.sim.spawn(self.write_page())
+            yield self.sim.timeout(max(int(1 * SECONDS / rate), 1))
+        return len(self.completions)

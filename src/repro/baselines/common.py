@@ -1,0 +1,133 @@
+"""Shared machinery for the middleware baselines of Fig. 7.
+
+All baselines run an echo (ping-pong) workload over the same verbs
+substrate; they differ in the per-operation software overhead their real
+counterparts exhibit and in whether they bounce payloads through internal
+copies.  The numbers are chosen so the simulated Fig. 7 ordering matches
+the paper: ibv < X-RDMA (≤10% over ibv) < UCX < libfabric < xio.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.rnic.wqe import Opcode, WorkRequest
+from repro.sim.timeunits import MICROS, SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, Host
+    from repro.verbs.cm import CmConnection
+
+
+class MiddlewareEndpoint:
+    """One side of a baseline connection (subclasses set the constants)."""
+
+    NAME = "base"
+    #: software path per operation, each side (post + dispatch + callbacks)
+    OP_OVERHEAD_NS = 0
+    #: True for middlewares that copy payloads through bounce buffers
+    COPIES = False
+    #: extra fixed receive-path overhead (tag matching, am handler lookup)
+    RX_OVERHEAD_NS = 0
+
+    def __init__(self, cluster: "Cluster", host_id: int,
+                 conn: "CmConnection"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.params = cluster.params
+        self.host = cluster.host(host_id)
+        self.conn = conn
+        self.qp = conn.qp
+        self._recv_posted = 0
+
+    # ------------------------------------------------------------- plumbing
+    @classmethod
+    def connect_pair(cls, cluster: "Cluster", client_id: int, server_id: int,
+                     service_port: int):
+        """Generator: establish and return (client_ep, server_ep)."""
+        client, server = cluster.host(client_id), cluster.host(server_id)
+        s_pd = server.verbs.alloc_pd()
+        s_cq = server.verbs.create_cq()
+        listener = server.cm.listen(service_port, s_pd, s_cq, s_cq)
+        c_pd = client.verbs.alloc_pd()
+        c_cq = client.verbs.create_cq()
+        conn = yield from client.cm.connect(server_id, service_port,
+                                            c_pd, c_cq, c_cq)
+        server_conn = yield listener.accepted.get()
+        return (cls(cluster, client_id, conn),
+                cls(cluster, server_id, server_conn))
+
+    def prepost(self, count: int, size: int):
+        """Generator: keep ``count`` receives posted."""
+        for _ in range(count):
+            yield self.host.verbs.post_recv(self.qp, WorkRequest(
+                opcode=Opcode.RECV, length=size + 256))
+            self._recv_posted += 1
+
+    # ------------------------------------------------------------ data path
+    def send(self, size: int):
+        """Generator: one message of ``size`` bytes with this middleware's
+        software costs applied."""
+        overhead = self.OP_OVERHEAD_NS
+        if self.COPIES:
+            overhead += int(size * self.params.host_memcpy_per_byte_ns)
+        if overhead:
+            yield self.sim.timeout(overhead)
+        yield self.host.verbs.post_send(self.qp, WorkRequest(
+            opcode=Opcode.SEND, length=size, signaled=False))
+
+    def wait_message(self, poll_interval_ns: int = 100):
+        """Generator: block until one receive completes; returns byte_len."""
+        while True:
+            completions = self.qp.recv_cq.poll(1)
+            if completions:
+                completion = completions[0]
+                overhead = self.RX_OVERHEAD_NS
+                if self.COPIES:
+                    overhead += int(completion.byte_len
+                                    * self.params.host_memcpy_per_byte_ns)
+                if overhead:
+                    yield self.sim.timeout(overhead)
+                return completion.byte_len
+            yield self.sim.timeout(poll_interval_ns)
+
+    # ------------------------------------------------------------ workloads
+    def start_echo_server(self, iterations: int, size: int):
+        """Spawn the echo loop (server side of the ping-pong)."""
+        def loop():
+            yield from self.prepost(min(iterations, 64) + 4, size)
+            for _ in range(iterations):
+                got = yield from self.wait_message()
+                yield self.host.verbs.post_recv(self.qp, WorkRequest(
+                    opcode=Opcode.RECV, length=size + 256))
+                yield from self.send(got)
+        return self.sim.spawn(loop(), name=f"{self.NAME}:echo")
+
+    def ping_many(self, iterations: int, size: int,
+                  warmup: int = 3) -> "List[int]":
+        """Generator: run the ping-pong; returns one-way latencies in ns."""
+        latencies: List[int] = []
+        yield from self.prepost(min(iterations, 64) + 4, size)
+        for index in range(iterations):
+            t0 = self.sim.now
+            yield from self.send(size)
+            yield from self.wait_message()
+            yield self.host.verbs.post_recv(self.qp, WorkRequest(
+                opcode=Opcode.RECV, length=size + 256))
+            if index >= warmup:
+                latencies.append((self.sim.now - t0) // 2)
+        return latencies
+
+
+def run_pingpong(cluster: "Cluster", endpoint_cls, size: int,
+                 iterations: int = 20, service_port: int = 8600):
+    """Build a pair, run the ping-pong, return one-way latencies (ns)."""
+    def scenario():
+        client, server = yield from endpoint_cls.connect_pair(
+            cluster, 0, 1, service_port)
+        server.start_echo_server(iterations, size)
+        latencies = yield from client.ping_many(iterations, size)
+        return latencies
+
+    proc = cluster.sim.spawn(scenario())
+    return cluster.sim.run_until_event(proc, limit=120 * SECONDS)

@@ -1,0 +1,17 @@
+"""``ibv_rc_pingpong``: the native-verbs ideal baseline (Sec. VII-A).
+
+"It has no extra overhead other than the primitive RDMA operations" — so
+this endpoint is :class:`MiddlewareEndpoint` with every software constant
+at zero.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import MiddlewareEndpoint
+
+
+class IbvPingPong(MiddlewareEndpoint):
+    NAME = "ibv-pingpong"
+    OP_OVERHEAD_NS = 0
+    RX_OVERHEAD_NS = 0
+    COPIES = False

@@ -1,0 +1,19 @@
+"""rsocket: the socket-API wrapper over RDMA (Related Work, Sec. VIII).
+
+"Rsocket is a simple wrapper of RDMA APIs" — it keeps the POSIX stream
+interface, which costs it a bounce-buffer copy on each side (the stream
+abstraction cannot expose registered buffers to the application) plus a
+small wrapper overhead, but it rides the RC transport, so it beats kernel
+TCP easily while trailing purpose-built middleware.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import MiddlewareEndpoint
+
+
+class RsocketEndpoint(MiddlewareEndpoint):
+    NAME = "rsocket"
+    OP_OVERHEAD_NS = 500     #: socket-semantics bookkeeping per op
+    RX_OVERHEAD_NS = 350
+    COPIES = True            #: stream API forces copies both sides

@@ -1,0 +1,17 @@
+"""Accelio (xio): the early RDMA middleware with complex abstractions.
+
+xio bounces messages through internal buffers and a heavyweight session
+layer; Fig. 7 shows it consistently slowest.  We model the session-layer
+cost plus a per-byte copy on both sides.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import MiddlewareEndpoint
+
+
+class XioEndpoint(MiddlewareEndpoint):
+    NAME = "xio"
+    OP_OVERHEAD_NS = 1200    #: session/task machinery per op
+    RX_OVERHEAD_NS = 800
+    COPIES = True            #: bounce-buffer copies on both sides

@@ -1,0 +1,93 @@
+"""Cluster assembly: fabric + RNIC hosts, ready for middleware and apps.
+
+This is the top-level entry point examples and benchmarks build on::
+
+    from repro.cluster import build_cluster
+
+    cluster = build_cluster(n_hosts=4)
+    host = cluster.host(0)            # .nic / .verbs / .cm / .memory
+    ctx = cluster.xrdma_context(0)    # an X-RDMA context on host 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.memory import HostMemory
+from repro.net import NetStats
+from repro.rnic import Rnic
+from repro.sim import RngRegistry, SimParams, Simulator
+from repro.topology import ClosTopology
+from repro.verbs import CmAgent, VerbsContext
+
+
+@dataclass
+class Host:
+    """One simulated machine: NIC + verbs + CM + host memory."""
+
+    host_id: int
+    nic: Rnic
+    verbs: VerbsContext
+    cm: CmAgent
+    memory: HostMemory
+
+
+@dataclass
+class Cluster:
+    """A running fabric with attached hosts."""
+
+    sim: Simulator
+    params: SimParams
+    stats: NetStats
+    rng: RngRegistry
+    topology: ClosTopology
+    hosts: List[Host] = field(default_factory=list)
+
+    def host(self, host_id: int) -> Host:
+        """The Host record (nic/verbs/cm/memory) for ``host_id``."""
+        return self.hosts[host_id]
+
+    def xrdma_context(self, host_id: int, config=None, name: str = ""):
+        """Convenience: an X-RDMA context bound to ``host_id``."""
+        from repro.xrdma import XrdmaContext
+        host = self.host(host_id)
+        return XrdmaContext(self.sim, host.verbs, host.cm, config=config,
+                            name=name or f"xr-h{host_id}")
+
+    def tcp_agent(self, host_id: int):
+        """Convenience: a TCP stack on ``host_id`` (baselines, Mock)."""
+        from repro.baselines.tcpstack import TcpAgent
+        host = self.host(host_id)
+        return TcpAgent(self.sim, self.params, host.nic)
+
+
+def build_cluster(n_hosts: int = 4, params: Optional[SimParams] = None,
+                  seed: int = 0, nic_ports: int = 1, **dims) -> Cluster:
+    """Create a Clos fabric with ``n_hosts`` RNIC-equipped hosts attached.
+
+    Fabric dimensions default to a single pod sized to fit ``n_hosts``
+    (≤16 hosts per ToR); pass explicit Clos dimensions via ``dims`` for
+    multi-pod studies.
+    """
+    sim = Simulator()
+    params = params or SimParams()
+    stats = NetStats()
+    rng = RngRegistry(seed)
+    dims.setdefault("n_pods", 1)
+    dims.setdefault("leaves_per_pod", 2)
+    dims.setdefault("tors_per_pod", max(1, (n_hosts + 15) // 16))
+    dims.setdefault("hosts_per_tor", -(-n_hosts // dims["tors_per_pod"]))
+    dims.setdefault("n_spines", 1)
+    topology = ClosTopology(sim, params, stats, rng, **dims)
+    cluster = Cluster(sim=sim, params=params, stats=stats, rng=rng,
+                      topology=topology)
+    for host_id in range(n_hosts):
+        memory = HostMemory()
+        nic = Rnic(sim, params, stats, host_id)
+        nic.plug_into(topology, ports=nic_ports)
+        verbs = VerbsContext(sim, params, nic, memory)
+        cm = CmAgent(sim, params, verbs, nic)
+        cluster.hosts.append(Host(host_id=host_id, nic=nic, verbs=verbs,
+                                  cm=cm, memory=memory))
+    return cluster

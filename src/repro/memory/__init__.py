@@ -1,0 +1,5 @@
+"""Host memory model: allocation modes and fragmentation accounting."""
+
+from repro.memory.host import AllocMode, HostMemory, OutOfMemory
+
+__all__ = ["AllocMode", "HostMemory", "OutOfMemory"]

@@ -1,0 +1,14 @@
+"""Shared wire-level types for the simulated fabric.
+
+:mod:`repro.net` holds the types every network layer shares — the
+:class:`~repro.net.packet.Segment` wire unit, the
+:class:`~repro.net.device.Device` attach protocol, and the global
+:class:`~repro.net.stats.NetStats` counters that the benchmarks read
+(CNPs, PFC pause frames, drops — the crucial indexes of Sec. VII-C).
+"""
+
+from repro.net.device import Device
+from repro.net.packet import Segment, SegmentKind
+from repro.net.stats import NetStats
+
+__all__ = ["Device", "NetStats", "Segment", "SegmentKind"]

@@ -1,0 +1,60 @@
+"""The wire unit of the simulation.
+
+The fabric is simulated at *segment* granularity: one
+:class:`Segment` is at most one MTU of payload (RNICs split larger work
+requests).  Control traffic — RC ACK/NAKs, CNPs, PFC pause frames — are
+segments too, so everything contends for the same queues the way it does on
+a real RoCEv2 network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Optional
+
+_segment_ids = itertools.count(1)
+
+
+class SegmentKind(Enum):
+    """What a segment carries; switches treat kinds differently."""
+
+    DATA = auto()        #: RC payload (or payload-carrying first/only packet)
+    ACK = auto()         #: RC acknowledgement / NAK
+    CNP = auto()         #: DCQCN congestion-notification packet
+    PAUSE = auto()       #: PFC pause/resume frame (link-local, never queued)
+    CONTROL = auto()     #: connection management (rdma_cm, TCP handshakes)
+
+
+@dataclass
+class Segment:
+    """One simulated wire unit.
+
+    ``flow_id`` identifies the 5-tuple-equivalent used by ECMP hashing and
+    by DCQCN (one rate limiter per flow/QP).  ``payload`` carries the
+    higher-layer object (an RC packet, a CM message, ...), opaque to the
+    fabric.
+    """
+
+    src: int                          #: source host id
+    dst: int                          #: destination host id
+    size: int                         #: payload bytes on the wire
+    kind: SegmentKind = SegmentKind.DATA
+    flow_id: int = 0
+    priority: int = 0                 #: PFC priority class (0 = lossless RoCE)
+    ecn_capable: bool = True
+    ecn_marked: bool = False
+    payload: Any = None
+    seg_id: int = field(default_factory=lambda: next(_segment_ids))
+    enqueued_at: int = 0              #: set by switches for latency accounting
+    hops: int = 0                     #: switch traversals so far
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"segment size must be >= 0, got {self.size}")
+
+    @property
+    def is_control(self) -> bool:
+        """Control segments bypass DCQCN rate limiting at the NIC."""
+        return self.kind is not SegmentKind.DATA

@@ -1,0 +1,35 @@
+"""The simulated RDMA NIC.
+
+Models the pieces of RNIC behaviour the middleware's design responds to:
+
+* queue pairs with the verbs state machine, bounded SQ/RQ depths,
+* completion queues and CQEs,
+* memory regions with rkey validation,
+* the RC protocol — PSNs, go-back-N retransmission, ACK/NAK, **RNR NAK**
+  when a SEND finds no posted receive (Issue 1 of Sec. III),
+* a WQE-atomic transmit engine (large messages occupy the engine — the
+  head-of-line blocking X-RDMA's fragmentation addresses),
+* per-QP DCQCN rate limiting and CNP generation,
+* an on-NIC QP-context cache (the Sec. VII-F SRAM-capacity experience).
+"""
+
+from repro.rnic.cq import CompletionQueue
+from repro.rnic.mr import AccessFlags, MemoryRegion, MrTable, ProtectionDomain
+from repro.rnic.nic import Rnic
+from repro.rnic.qp import QueuePair, QpState
+from repro.rnic.wqe import Completion, Opcode, WorkRequest, WrStatus
+
+__all__ = [
+    "AccessFlags",
+    "Completion",
+    "CompletionQueue",
+    "MemoryRegion",
+    "MrTable",
+    "Opcode",
+    "ProtectionDomain",
+    "QpState",
+    "QueuePair",
+    "Rnic",
+    "WorkRequest",
+    "WrStatus",
+]

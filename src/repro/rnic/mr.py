@@ -1,0 +1,87 @@
+"""Protection domains and memory regions.
+
+Access to a remote buffer succeeds only if the (addr, length) range lies in
+a registered MR of the target's protection domain and the 32-bit rkey
+matches — mirroring verbs semantics, including the failure mode (a remote
+access error transitions the QP to ERROR).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Flag, auto
+from typing import Dict, Optional
+
+_pd_ids = itertools.count(1)
+_mr_keys = itertools.count(0x1001)
+
+
+class AccessFlags(Flag):
+    LOCAL_WRITE = auto()
+    REMOTE_READ = auto()
+    REMOTE_WRITE = auto()
+
+    @classmethod
+    def all_remote(cls) -> "AccessFlags":
+        return cls.LOCAL_WRITE | cls.REMOTE_READ | cls.REMOTE_WRITE
+
+
+@dataclass
+class MemoryRegion:
+    pd_id: int
+    addr: int
+    length: int
+    lkey: int
+    rkey: int
+    access: AccessFlags
+
+    def contains(self, addr: int, length: int) -> bool:
+        return (self.addr <= addr
+                and addr + length <= self.addr + self.length)
+
+
+class ProtectionDomain:
+    """Groups MRs and QPs; rkeys are only valid within their PD."""
+
+    def __init__(self) -> None:
+        self.pd_id = next(_pd_ids)
+        self.mrs: Dict[int, MemoryRegion] = {}      # by lkey
+
+    def register(self, addr: int, length: int,
+                 access: AccessFlags) -> MemoryRegion:
+        if length <= 0:
+            raise ValueError(f"MR length must be positive: {length}")
+        key = next(_mr_keys)
+        mr = MemoryRegion(pd_id=self.pd_id, addr=addr, length=length,
+                          lkey=key, rkey=key, access=access)
+        self.mrs[mr.lkey] = mr
+        return mr
+
+    def deregister(self, mr: MemoryRegion) -> None:
+        if self.mrs.pop(mr.lkey, None) is None:
+            raise KeyError(f"MR lkey={mr.lkey:#x} not registered in this PD")
+
+
+class MrTable:
+    """NIC-side lookup used to validate inbound one-sided operations."""
+
+    def __init__(self) -> None:
+        self._by_rkey: Dict[int, MemoryRegion] = {}
+
+    def install(self, mr: MemoryRegion) -> None:
+        self._by_rkey[mr.rkey] = mr
+
+    def remove(self, mr: MemoryRegion) -> None:
+        self._by_rkey.pop(mr.rkey, None)
+
+    def check(self, rkey: int, addr: int, length: int,
+              write: bool) -> Optional[MemoryRegion]:
+        """The MR authorizing the access, or None (→ remote access error)."""
+        mr = self._by_rkey.get(rkey)
+        if mr is None or not mr.contains(addr, length):
+            return None
+        needed = AccessFlags.REMOTE_WRITE if write else AccessFlags.REMOTE_READ
+        if not (mr.access & needed):
+            return None
+        return mr

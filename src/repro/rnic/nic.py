@@ -1,0 +1,843 @@
+"""The RNIC engine: transmit scheduling, the RC protocol, and completion.
+
+Modelling choices that matter to the middleware experiments:
+
+* **WQE-atomic transmit.**  The engine works on one WQE until its segments
+  are all out (pacing gaps excepted), so a multi-megabyte WRITE occupies the
+  engine and delays every other QP — the head-of-line blocking X-RDMA's
+  64 KB fragmentation removes (Sec. V-C).
+* **Go-back-N RC.**  Each data fragment consumes a PSN; the receiver accepts
+  in order only.  Loss or RNR rewinds the sender to the oldest unacked
+  message.  Retry budgets exhausting moves the QP to ERROR and flushes,
+  exactly the failure the keepAlive extension exists to detect early.
+* **RNR NAK.**  A SEND whose first fragment finds no posted receive raises
+  a receiver-not-ready NAK (counted in :class:`~repro.net.stats.NetStats`,
+  Fig. 9) and backs the sender off.
+* **DCQCN per QP.**  Data fragments reserve wire time from the QP's
+  rate limiter; ECN-marked arrivals answer with CNPs (paced per flow).
+* **QP-context cache.**  An LRU of ``nic_qp_cache_entries`` QPNs; a miss
+  charges ``nic_qp_cache_miss_ns`` of engine time (Sec. VII-F exp. 1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, Optional, Union)
+
+from repro.net.device import Device
+from repro.net.packet import Segment, SegmentKind
+from repro.rnic.cq import CompletionQueue
+from repro.rnic.mr import MrTable
+from repro.rnic.packets import CTRL_BYTES, RcKind, RcPacket
+from repro.rnic.qp import (InboundMessage, OutboundMessage, QpState,
+                           QueuePair, SharedReceiveQueue)
+from repro.rnic.wqe import Completion, Opcode, WorkRequest, WrStatus
+from repro.transport.dcqcn import CnpGovernor, DcqcnRateLimiter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stats import NetStats
+    from repro.sim.engine import Simulator
+    from repro.sim.params import SimParams
+    from repro.topology.clos import ClosTopology
+    from repro.topology.link import EgressPort
+
+
+class _ReadJob:
+    """Responder-side streaming of a remote read (no host CPU involved)."""
+
+    __slots__ = ("requester_host", "requester_qpn", "responder_qpn",
+                 "msg_id", "addr", "length", "sent")
+
+    def __init__(self, requester_host: int, requester_qpn: int,
+                 responder_qpn: int, msg_id: int, addr: int, length: int):
+        self.requester_host = requester_host
+        self.requester_qpn = requester_qpn
+        self.responder_qpn = responder_qpn
+        self.msg_id = msg_id
+        self.addr = addr
+        self.length = length
+        self.sent = 0
+
+
+_TxJob = Union[QueuePair, _ReadJob]
+
+
+class Rnic(Device):
+    """One host's RDMA NIC, attached to the fabric as a Device."""
+
+    def __init__(self, sim: "Simulator", params: "SimParams",
+                 stats: "NetStats", host_id: int, name: str = "",
+                 tx_buffer_bytes: int = 256 * 1024):
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        self.host_id = host_id
+        self.name = name or f"rnic{host_id}"
+        self.uplink: Optional["EgressPort"] = None
+        self.uplinks: list = []
+        self._flow_ports: Dict[int, int] = {}
+        self.alive = True
+        self.tx_buffer_bytes = tx_buffer_bytes
+
+        self.qps: Dict[int, QueuePair] = {}
+        #: DC targets by dct_number (Sec. IX DCT evaluation)
+        self.dc_targets: Dict[int, object] = {}
+        self.mr_table = MrTable()
+        self.limiters: Dict[int, DcqcnRateLimiter] = {}     # by local qpn
+        self.cnp_governor = CnpGovernor(sim, params)
+        #: CONTROL-segment handler (rdma_cm agent, TCP mock) by logical port
+        self.control_handlers: Dict[int, Callable[[Segment], None]] = {}
+
+        self._ready: Deque[_TxJob] = deque()
+        self._in_ready: set = set()                         # ids of queued jobs
+        self._tx_wakes: list = []
+        self._qp_cache: "OrderedDict[int, bool]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.retransmits = 0
+        self.rnr_naks_sent = 0
+        self.rnr_naks_received = 0
+        self.tx_messages = 0
+        self.rx_messages = 0
+        self.rx_bytes = 0
+        self._watchdogs: set = set()                        # qpns with watchdog
+        self.sim.spawn(self._tx_loop(), name=f"{self.name}:tx")
+
+    # --------------------------------------------------------------- fabric
+    def plug_into(self, topology: "ClosTopology",
+                  bandwidth_bps: Optional[float] = None,
+                  ports: int = 1) -> None:
+        """Attach to the fabric with ``ports`` links (dual-port CX4-Lx).
+
+        Flows hash across ports, so one QP keeps in-order delivery while
+        the NIC's aggregate bandwidth scales with the port count.
+        """
+        self.uplink = topology.attach(self.host_id, self,
+                                      bandwidth_bps=bandwidth_bps)
+        self.uplinks = [self.uplink]
+        for nic_port in range(1, ports):
+            self.uplinks.append(topology.attach_extra_port(
+                self.host_id, self, nic_port, bandwidth_bps=bandwidth_bps))
+            # Each port brings its own processing pipeline.
+            self.sim.spawn(self._tx_loop(), name=f"{self.name}:tx{nic_port}")
+
+    def pause_port(self, port: int, priority: int, pause: bool) -> None:
+        uplinks = getattr(self, "uplinks", None) or (
+            [self.uplink] if self.uplink else [])
+        if 0 <= port < len(uplinks):
+            uplinks[port].set_paused(pause)
+
+    def _uplink_for(self, flow_id: int) -> "EgressPort":
+        """Port for a flow: pinned on first use to the least-loaded port
+        (per-flow stickiness preserves ordering; balanced assignment uses
+        both ports the way dual-port QP placement does)."""
+        uplinks = getattr(self, "uplinks", None)
+        if not uplinks or len(uplinks) == 1:
+            return self.uplink
+        index = self._flow_ports.get(flow_id)
+        if index is None:
+            counts = [0] * len(uplinks)
+            for assigned in self._flow_ports.values():
+                counts[assigned] += 1
+            index = counts.index(min(counts))
+            self._flow_ports[flow_id] = index
+        return uplinks[index]
+
+    def crash(self) -> None:
+        """Stop responding entirely (machine failure, Sec. III robustness)."""
+        self.alive = False
+
+    # ------------------------------------------------------------ qp surface
+    def register_qp(self, qp: QueuePair) -> None:
+        self.qps[qp.qpn] = qp
+
+    def destroy_qp(self, qp: QueuePair) -> None:
+        self.qps.pop(qp.qpn, None)
+        self.limiters.pop(qp.qpn, None)
+
+    def register_dc_target(self, target) -> None:
+        self.dc_targets[target.dct_num] = target
+
+    def _resolve_rx_qp(self, segment: Segment,
+                       packet: RcPacket) -> Optional[QueuePair]:
+        """Destination QP, demuxing DC traffic to a per-initiator responder."""
+        qp = self.qps.get(packet.dst_qpn)
+        if qp is not None:
+            return qp
+        target = self.dc_targets.get(packet.dst_qpn)
+        if target is not None:
+            return target._responder_for(segment.src, packet.src_qpn)
+        return None
+
+    def post_send(self, qp: QueuePair, wr: WorkRequest) -> None:
+        """NIC half of post_send; verbs charges the host-side overhead."""
+        wr.posted_at = self.sim.now
+        qp.post_send(wr)
+        self._kick_qp(qp)
+
+    def kick(self, qp: QueuePair) -> None:
+        """Re-evaluate a QP that may have transmit work (used after unblock)."""
+        self._kick_qp(qp)
+
+    # ---------------------------------------------------------- tx machinery
+    def _limiter(self, qpn: int) -> DcqcnRateLimiter:
+        limiter = self.limiters.get(qpn)
+        if limiter is None:
+            bandwidth = (self.uplink.bandwidth_bps if self.uplink
+                         else self.params.link_bandwidth_bps)
+            limiter = DcqcnRateLimiter(self.sim, self.params, bandwidth)
+            self.limiters[qpn] = limiter
+        return limiter
+
+    def _kick_qp(self, qp: QueuePair) -> None:
+        if qp.has_tx_work() or qp.retx:
+            self._enqueue_job(qp)
+
+    def _enqueue_job(self, job: _TxJob, front: bool = False) -> None:
+        if id(job) in self._in_ready:
+            return
+        self._in_ready.add(id(job))
+        if front:
+            self._ready.appendleft(job)
+        else:
+            self._ready.append(job)
+        while self._tx_wakes:
+            wake = self._tx_wakes.pop()
+            if not wake.triggered:
+                wake.succeed(None)
+
+    def _pending_wqe_bytes(self, qp: QueuePair) -> int:
+        """Size of the WQE about to start on ``qp`` (for pacing admission)."""
+        if qp.retx:
+            return max(qp.retx[0].wr.length, CTRL_BYTES)
+        if qp.sq:
+            return max(qp.sq[0].length, CTRL_BYTES)
+        return CTRL_BYTES
+
+    def _job_next_len(self, job: _TxJob) -> Optional[int]:
+        """Bytes of the next fragment, or None if the job has nothing to do."""
+        if isinstance(job, _ReadJob):
+            return min(self.params.mtu_bytes, job.length - job.sent)
+        qp = job
+        msg = qp.current_tx
+        if msg is None:
+            if qp.retx:
+                msg = qp.retx[0]
+            elif qp.sq:
+                wr = qp.sq[0]
+                if wr.opcode is Opcode.READ:
+                    return CTRL_BYTES
+                return min(self.params.mtu_bytes, max(wr.length, 0))
+            else:
+                return None
+        remaining = msg.wr.length - msg.sent_bytes
+        return min(self.params.mtu_bytes, max(remaining, 0))
+
+    def _tx_loop(self):
+        params = self.params
+        while True:
+            if not self.alive:
+                return
+            if not self._ready:
+                wake = self.sim.event(f"{self.name}:txwake")
+                self._tx_wakes.append(wake)
+                yield wake
+                continue
+            job = self._ready.popleft()
+            self._in_ready.discard(id(job))
+
+            if isinstance(job, QueuePair):
+                if job.state is not QpState.RTS:
+                    continue
+                if self.sim.now < job.tx_blocked_until:
+                    self.sim.call_at(job.tx_blocked_until,
+                                     lambda qp=job: self._kick_qp(qp))
+                    continue
+                if not (job.has_tx_work() or job.retx):
+                    continue
+                qpn = job.qpn
+            else:
+                qpn = job.responder_qpn
+
+            nbytes = self._job_next_len(job)
+            if nbytes is None:
+                continue
+
+            # Per-port transmit-buffer back-pressure (also stalls under
+            # PFC): requeue rather than hold, so an engine never blocks
+            # traffic destined for the other port.
+            out_port = self._uplink_for((self.host_id << 20) | qpn)
+            if (out_port is not None
+                    and out_port.queued_bytes >= self.tx_buffer_bytes):
+                # Back of the queue: a blocked port must not starve work
+                # bound for the other port (WQE fragment order is kept by
+                # the per-QP cursor, not by queue position).
+                self._enqueue_job(job, front=False)
+                yield self.sim.timeout(
+                    params.serialization_ns(params.mtu_bytes) // 2)
+                continue
+
+            # DCQCN pacing is applied at *WQE boundaries*: once a work
+            # request is admitted, its segments burst back-to-back (the
+            # RNIC "ensures the completion of this request", Sec. V-C) and
+            # the whole WQE's wire time is reserved from the limiter.
+            # This is exactly why X-RDMA fragments large WRs: a 1 MB WQE
+            # is a 1 MB line-rate burst no matter what DCQCN's rate says.
+            if isinstance(job, QueuePair):
+                new_wqe = job.current_tx is None
+                wqe_bytes = self._pending_wqe_bytes(job)
+            else:
+                new_wqe = job.sent == 0
+                wqe_bytes = job.length
+            if new_wqe:
+                limiter = self._limiter(qpn)
+                if params.dcqcn_enabled and limiter.next_tx_ns > self.sim.now:
+                    self.sim.call_at(limiter.next_tx_ns,
+                                     lambda j=job: self._enqueue_job(j))
+                    continue
+                limiter.reserve(max(wqe_bytes, CTRL_BYTES))
+
+            # Engine occupancy: per-segment work + host-memory DMA + the
+            # WQE fetch when a fresh WQE starts + QP-context cache miss.
+            occupancy = (params.nic_segment_process_ns
+                         + params.dma_ns(nbytes)
+                         + self._qp_cache_access(qpn))
+            if isinstance(job, QueuePair):
+                if job.current_tx is None:
+                    occupancy += params.nic_wqe_fetch_ns
+            elif job.sent == 0:
+                occupancy += params.nic_wqe_fetch_ns
+            yield self.sim.timeout(occupancy)
+
+            if isinstance(job, QueuePair):
+                self._emit_qp_fragment(job)
+            else:
+                self._emit_read_fragment(job)
+
+    def _emit_qp_fragment(self, qp: QueuePair) -> None:
+        params = self.params
+        msg = qp.current_tx
+        if msg is None:
+            if qp.retx:
+                msg = qp.retx.popleft()
+                msg.sent_at = self.sim.now
+                qp.current_tx = msg
+            elif qp.sq:
+                wr = qp.sq.popleft()
+                msg = OutboundMessage(wr=wr, sent_at=self.sim.now)
+                if wr.opcode is Opcode.READ:
+                    self._emit_read_request(qp, msg)
+                    self._requeue_qp(qp, same_wqe=False)
+                    return
+                nfrags = max(1, params.segments_of(wr.length))
+                msg.first_psn = qp.send_psn
+                msg.last_psn = qp.send_psn + nfrags - 1
+                qp.send_psn += nfrags
+                qp.current_tx = msg
+                qp.outstanding.append(msg)
+                self._arm_watchdog(qp)
+            else:
+                return
+        if msg.acked:           # late ack raced a rewind; nothing to resend
+            qp.current_tx = None
+            self._requeue_qp(qp, same_wqe=False)
+            return
+
+        wr = msg.wr
+        offset = msg.sent_bytes
+        frag_len = min(params.mtu_bytes, max(wr.length - offset, 0))
+        frag_index = offset // params.mtu_bytes if wr.length else 0
+        packet = RcPacket(
+            kind=RcKind.DATA,
+            src_qpn=qp.qpn,
+            dst_qpn=qp.remote_qpn or 0,
+            psn=msg.first_psn + frag_index,
+            msg_id=msg.msg_id,
+            opcode=wr.opcode,
+            offset=offset,
+            length=frag_len,
+            total_length=wr.length,
+            first=(offset == 0),
+            last=(offset + frag_len >= wr.length),
+            remote_addr=wr.remote_addr + offset,
+            rkey=wr.rkey,
+            imm_data=wr.imm_data,
+            app_payload=(wr.payload if offset == 0 else None),
+        )
+        self._send_segment(qp.remote_host, frag_len, SegmentKind.DATA,
+                           qp.qpn, packet)
+        msg.sent_bytes = offset + max(frag_len, 1)
+        if msg.fully_sent:
+            msg.sent_at = self.sim.now
+            qp.current_tx = None
+            self.tx_messages += 1
+            self._requeue_qp(qp, same_wqe=False)
+        else:
+            self._requeue_qp(qp, same_wqe=True)
+
+    def _emit_read_request(self, qp: QueuePair, msg: OutboundMessage) -> None:
+        wr = msg.wr
+        qp.reads_in_flight[msg.msg_id] = msg
+        msg.sent_bytes = max(wr.length, 1)
+        msg.sent_at = self.sim.now
+        self._arm_watchdog(qp)
+        packet = RcPacket(
+            kind=RcKind.READ_REQ,
+            src_qpn=qp.qpn,
+            dst_qpn=qp.remote_qpn or 0,
+            msg_id=msg.msg_id,
+            length=wr.length,
+            total_length=wr.length,
+            remote_addr=wr.remote_addr,
+            rkey=wr.rkey,
+        )
+        self._send_segment(qp.remote_host, CTRL_BYTES, SegmentKind.DATA,
+                           qp.qpn, packet)
+        self.tx_messages += 1
+
+    def _emit_read_fragment(self, job: _ReadJob) -> None:
+        frag_len = min(self.params.mtu_bytes, job.length - job.sent)
+        packet = RcPacket(
+            kind=RcKind.READ_RESP,
+            src_qpn=job.responder_qpn,
+            dst_qpn=job.requester_qpn,
+            msg_id=job.msg_id,
+            offset=job.sent,
+            length=frag_len,
+            total_length=job.length,
+            first=(job.sent == 0),
+            last=(job.sent + frag_len >= job.length),
+        )
+        self._send_segment(job.requester_host, frag_len, SegmentKind.DATA,
+                           job.responder_qpn, packet)
+        job.sent += frag_len
+        if job.sent < job.length:
+            self._enqueue_job(job, front=True)    # WQE-atomic continuation
+
+    def _requeue_qp(self, qp: QueuePair, same_wqe: bool) -> None:
+        if qp.current_tx is not None or qp.sq or qp.retx:
+            self._enqueue_job(qp, front=same_wqe)
+
+    def _send_segment(self, dst_host: Optional[int], size: int,
+                      kind: SegmentKind, local_qpn: int,
+                      payload) -> None:
+        if dst_host is None:
+            raise RuntimeError(f"{self.name}: QP has no peer configured")
+        segment = Segment(
+            src=self.host_id, dst=dst_host, size=size, kind=kind,
+            flow_id=(self.host_id << 20) | local_qpn,
+            ecn_capable=(kind is SegmentKind.DATA),
+            payload=payload)
+        self.stats.segments_sent += 1
+        if self.uplink is None:
+            raise RuntimeError(f"{self.name} is not plugged into a fabric")
+        if dst_host == self.host_id:
+            # Loopback: hairpin at the NIC without touching the fabric.
+            self.sim.call_after(self.params.nic_ack_delay_ns,
+                                lambda: self.receive(segment, 0))
+        else:
+            self._uplink_for(segment.flow_id).enqueue(segment)
+
+    def _send_control(self, dst_host: int, local_qpn: int,
+                      kind: SegmentKind, payload) -> None:
+        """ACK/NAK/CNP path: bypasses pacing and the engine queue."""
+        segment = Segment(
+            src=self.host_id, dst=dst_host, size=CTRL_BYTES, kind=kind,
+            flow_id=(self.host_id << 20) | local_qpn,
+            ecn_capable=False, payload=payload)
+        self.stats.segments_sent += 1
+        if dst_host == self.host_id:
+            self.sim.call_after(self.params.nic_ack_delay_ns,
+                                lambda: self.receive(segment, 0))
+        elif self.uplink is not None:
+            self._uplink_for(segment.flow_id).enqueue(segment)
+
+    # ------------------------------------------------------------- watchdogs
+    def _arm_watchdog(self, qp: QueuePair) -> None:
+        if qp.qpn in self._watchdogs:
+            return
+        self._watchdogs.add(qp.qpn)
+        self.sim.spawn(self._watchdog_loop(qp), name=f"{self.name}:wd{qp.qpn}")
+
+    def _watchdog_loop(self, qp: QueuePair):
+        params = self.params
+        try:
+            while self.alive and qp.state is QpState.RTS and (
+                    qp.outstanding or qp.reads_in_flight):
+                oldest = None
+                if qp.outstanding:
+                    oldest = qp.outstanding[0]
+                for read_msg in qp.reads_in_flight.values():
+                    if oldest is None or read_msg.sent_at < oldest.sent_at:
+                        oldest = read_msg
+                backoff = 1 << min(oldest.retries, 4)
+                deadline = oldest.sent_at + params.rc_retransmit_timeout_ns * backoff
+                if self.sim.now < deadline:
+                    yield self.sim.timeout(deadline - self.sim.now)
+                    continue
+                if oldest.acked:
+                    continue
+                # Only fire for fully-transmitted messages; mid-transmit
+                # progress resets the clock via sent_at updates.
+                if not oldest.fully_sent:
+                    yield self.sim.timeout(params.rc_retransmit_timeout_ns)
+                    continue
+                oldest.retries += 1
+                if oldest.retries > params.rc_max_retries:
+                    self._qp_fatal(qp, WrStatus.RETRY_EXCEEDED)
+                    return
+                self.retransmits += 1
+                self.stats.retransmissions += 1
+                if oldest.wr.opcode is Opcode.READ:
+                    self._resend_read_request(qp, oldest)
+                else:
+                    self._rewind(qp)
+                oldest.sent_at = self.sim.now
+                self._kick_qp(qp)
+        finally:
+            self._watchdogs.discard(qp.qpn)
+
+    def _rewind(self, qp: QueuePair) -> None:
+        """Go-back-N: schedule every unacked data message for resend."""
+        qp.last_rewind_ns = self.sim.now
+        qp.retx = deque(m for m in qp.outstanding if not m.acked)
+        for msg in qp.retx:
+            msg.sent_bytes = 0
+        qp.current_tx = None
+
+    def _resend_read_request(self, qp: QueuePair, msg: OutboundMessage) -> None:
+        """Re-issue a lost READ_REQ (responder streaming is idempotent)."""
+        msg.resp_bytes = 0
+        packet = RcPacket(
+            kind=RcKind.READ_REQ, src_qpn=qp.qpn,
+            dst_qpn=qp.remote_qpn or 0, msg_id=msg.msg_id,
+            length=msg.wr.length, total_length=msg.wr.length,
+            remote_addr=msg.wr.remote_addr, rkey=msg.wr.rkey)
+        self._send_segment(qp.remote_host, CTRL_BYTES, SegmentKind.DATA,
+                           qp.qpn, packet)
+
+    # -------------------------------------------------------------- rx path
+    def receive(self, segment: Segment, in_port: int) -> None:
+        if not self.alive:
+            return
+        self.stats.segments_delivered += 1
+        self.stats.bytes_delivered += segment.size
+        if segment.kind is SegmentKind.CNP:
+            limiter = self.limiters.get(segment.payload)
+            if limiter is not None:
+                limiter.on_cnp()
+            return
+        if segment.kind is SegmentKind.CONTROL:
+            handler = self.control_handlers.get(
+                getattr(segment.payload, "port", 0))
+            if handler is not None:
+                handler(segment)
+            return
+        packet: RcPacket = segment.payload
+        if segment.ecn_marked and self.cnp_governor.should_send_cnp(
+                segment.flow_id):
+            self.stats.cnps_sent += 1
+            self._send_control(segment.src, packet.dst_qpn,
+                               SegmentKind.CNP, packet.src_qpn)
+        if packet.kind is RcKind.DATA:
+            self.stats.data_bytes_delivered += packet.length
+            self._rx_data(segment, packet)
+        elif packet.kind is RcKind.READ_REQ:
+            self._rx_read_request(segment, packet)
+        elif packet.kind is RcKind.READ_RESP:
+            self.stats.data_bytes_delivered += packet.length
+            self._rx_read_response(packet)
+        elif packet.kind is RcKind.ACK:
+            self._rx_ack(packet)
+        elif packet.kind in (RcKind.NAK_SEQ, RcKind.NAK_RNR,
+                             RcKind.NAK_ACCESS):
+            self._rx_nak(packet)
+
+    # -- receiver side ------------------------------------------------------
+    def _rx_data(self, segment: Segment, packet: RcPacket) -> None:
+        qp = self._resolve_rx_qp(segment, packet)
+        if qp is None or qp.state not in (QpState.RTR, QpState.RTS):
+            return  # silently dropped; sender will time out
+        if packet.psn < qp.expected_psn:
+            # Duplicate from a spurious rewind: re-ack so the sender moves on.
+            self._ack(qp, packet.src_qpn, segment.src, qp.expected_psn - 1)
+            return
+        if packet.psn > qp.expected_psn:
+            if qp.last_nak_expected != qp.expected_psn:
+                qp.last_nak_expected = qp.expected_psn
+                self._send_control(
+                    segment.src, packet.dst_qpn, SegmentKind.ACK,
+                    RcPacket(kind=RcKind.NAK_SEQ, src_qpn=packet.dst_qpn,
+                             dst_qpn=packet.src_qpn,
+                             psn=qp.expected_psn,
+                             ack_psn=qp.expected_psn - 1))
+            return
+
+        # In-order fragment.
+        if packet.first:
+            if not self._begin_inbound(qp, segment, packet):
+                return  # RNR or access NAK already sent; psn not advanced
+        msg = qp.rx_msg
+        if msg is None or msg.msg_id != packet.msg_id:
+            # First fragment was refused earlier (e.g. RNR) — ignore the rest.
+            return
+        qp.expected_psn = packet.psn + 1
+        qp.last_nak_expected = -1
+        msg.received = packet.offset + packet.length
+        if packet.last:
+            qp.rx_msg = None
+            self._complete_inbound(qp, segment, packet, msg)
+
+    def _begin_inbound(self, qp: QueuePair, segment: Segment,
+                       packet: RcPacket) -> bool:
+        opcode = packet.opcode
+        if opcode in (Opcode.SEND, Opcode.SEND_IMM):
+            recv_wr = qp.pop_recv()
+            if recv_wr is None:
+                qp.rnr_events += 1
+                self.rnr_naks_sent += 1
+                self.stats.rnr_naks += 1
+                self._send_control(
+                    segment.src, packet.dst_qpn, SegmentKind.ACK,
+                    RcPacket(kind=RcKind.NAK_RNR, src_qpn=packet.dst_qpn,
+                             dst_qpn=packet.src_qpn, psn=packet.psn,
+                             ack_psn=qp.expected_psn - 1))
+                return False
+            if recv_wr.length < packet.total_length:
+                self._send_control(
+                    segment.src, packet.dst_qpn, SegmentKind.ACK,
+                    RcPacket(kind=RcKind.NAK_ACCESS, src_qpn=packet.dst_qpn,
+                             dst_qpn=packet.src_qpn, psn=packet.psn,
+                             ack_psn=qp.expected_psn - 1))
+                self._qp_fatal(qp, WrStatus.LOCAL_PROTECTION_ERROR)
+                return False
+            qp.rx_msg = InboundMessage(
+                msg_id=packet.msg_id, opcode=opcode,
+                total_length=packet.total_length, recv_wr=recv_wr,
+                app_payload=packet.app_payload)
+            return True
+
+        # WRITE / WRITE_IMM: zero-byte writes skip the rkey check entirely
+        # (the keepAlive probe relies on this, Sec. V-A).
+        if packet.total_length > 0:
+            mr = self.mr_table.check(packet.rkey, packet.remote_addr,
+                                     packet.total_length - packet.offset,
+                                     write=True)
+            if mr is None:
+                self._send_control(
+                    segment.src, packet.dst_qpn, SegmentKind.ACK,
+                    RcPacket(kind=RcKind.NAK_ACCESS, src_qpn=packet.dst_qpn,
+                             dst_qpn=packet.src_qpn, psn=packet.psn,
+                             ack_psn=qp.expected_psn - 1))
+                self._qp_fatal(qp, WrStatus.REMOTE_ACCESS_ERROR)
+                return False
+        qp.rx_msg = InboundMessage(
+            msg_id=packet.msg_id, opcode=opcode,
+            total_length=packet.total_length,
+            write_addr=packet.remote_addr, imm_data=packet.imm_data,
+            app_payload=packet.app_payload)
+        return True
+
+    def _complete_inbound(self, qp: QueuePair, segment: Segment,
+                          packet: RcPacket, msg: InboundMessage) -> None:
+        self.rx_messages += 1
+        self.rx_bytes += msg.total_length
+        self._ack(qp, packet.src_qpn, segment.src, packet.psn)
+        delay = self.params.nic_cqe_ns + self.params.dma_ns(
+            min(packet.length, self.params.mtu_bytes))
+        if msg.opcode in (Opcode.SEND, Opcode.SEND_IMM):
+            recv_wr = msg.recv_wr
+            completion = Completion(
+                wr_id=recv_wr.wr_id, status=WrStatus.SUCCESS,
+                opcode=(Opcode.RECV_IMM if packet.imm_data is not None
+                        else Opcode.RECV),
+                qp_num=qp.qpn, byte_len=msg.total_length,
+                imm_data=packet.imm_data, addr=recv_wr.local_addr,
+                payload=msg.app_payload)
+            self.sim.call_after(delay,
+                                lambda: qp.recv_cq.push(completion))
+        elif msg.opcode is Opcode.WRITE_IMM:
+            recv_wr = qp.pop_recv()
+            if recv_wr is None:
+                # WRITE_IMM consumes a receive; none posted is an RNR case
+                # at message end (rare; treat as silent drop + RNR count).
+                qp.rnr_events += 1
+                self.stats.rnr_naks += 1
+                return
+            completion = Completion(
+                wr_id=recv_wr.wr_id, status=WrStatus.SUCCESS,
+                opcode=Opcode.RECV_IMM, qp_num=qp.qpn,
+                byte_len=msg.total_length, imm_data=packet.imm_data,
+                addr=msg.write_addr, payload=msg.app_payload)
+            self.sim.call_after(delay,
+                                lambda: qp.recv_cq.push(completion))
+        # Plain WRITE: silent at the receiver (memory semantics).
+
+    def _ack(self, qp: QueuePair, remote_qpn: int, remote_host: int,
+             ack_psn: int) -> None:
+        self._send_control(
+            remote_host, qp.qpn, SegmentKind.ACK,
+            RcPacket(kind=RcKind.ACK, src_qpn=qp.qpn, dst_qpn=remote_qpn,
+                     ack_psn=ack_psn))
+
+    def _rx_read_request(self, segment: Segment, packet: RcPacket) -> None:
+        qp = self._resolve_rx_qp(segment, packet)
+        if qp is None or qp.state not in (QpState.RTR, QpState.RTS):
+            return
+        mr = self.mr_table.check(packet.rkey, packet.remote_addr,
+                                 packet.length, write=False)
+        if mr is None and packet.length > 0:
+            self._send_control(
+                segment.src, packet.dst_qpn, SegmentKind.ACK,
+                RcPacket(kind=RcKind.NAK_ACCESS, src_qpn=packet.dst_qpn,
+                         dst_qpn=packet.src_qpn, msg_id=packet.msg_id,
+                         ack_psn=-1))
+            return
+        job = _ReadJob(
+            requester_host=segment.src, requester_qpn=packet.src_qpn,
+            responder_qpn=packet.dst_qpn, msg_id=packet.msg_id,
+            addr=packet.remote_addr, length=max(packet.length, 0))
+        if job.length == 0:
+            # Zero-byte read: respond immediately with an empty last fragment.
+            self._send_control(
+                segment.src, packet.dst_qpn, SegmentKind.ACK,
+                RcPacket(kind=RcKind.READ_RESP, src_qpn=packet.dst_qpn,
+                         dst_qpn=packet.src_qpn, msg_id=packet.msg_id,
+                         first=True, last=True))
+            return
+        self._enqueue_job(job)
+
+    # -- requester side -----------------------------------------------------
+    def _rx_read_response(self, packet: RcPacket) -> None:
+        qp = self.qps.get(packet.dst_qpn)
+        if qp is None:
+            return
+        msg = qp.reads_in_flight.get(packet.msg_id)
+        if msg is None or msg.acked:
+            return
+        msg.resp_bytes = packet.offset + packet.length
+        if packet.last:
+            msg.acked = True
+            del qp.reads_in_flight[packet.msg_id]
+            self.rx_messages += 1
+            if msg.wr.signaled:
+                delay = self.params.nic_cqe_ns + self.params.dma_ns(
+                    min(packet.length, self.params.mtu_bytes))
+                completion = Completion(
+                    wr_id=msg.wr.wr_id, status=WrStatus.SUCCESS,
+                    opcode=Opcode.READ, qp_num=qp.qpn,
+                    byte_len=msg.wr.length)
+                self.sim.call_after(delay,
+                                    lambda: qp.send_cq.push(completion))
+
+    def _rx_ack(self, packet: RcPacket) -> None:
+        qp = self.qps.get(packet.dst_qpn)
+        if qp is None:
+            return
+        self._apply_cumulative_ack(qp, packet.ack_psn)
+
+    def _apply_cumulative_ack(self, qp: QueuePair, ack_psn: int) -> None:
+        while qp.outstanding and qp.outstanding[0].last_psn <= ack_psn:
+            msg = qp.outstanding.popleft()
+            if msg.acked:
+                continue
+            msg.acked = True
+            if msg.wr.signaled:
+                completion = Completion(
+                    wr_id=msg.wr.wr_id, status=WrStatus.SUCCESS,
+                    opcode=msg.wr.opcode, qp_num=qp.qpn,
+                    byte_len=msg.wr.length)
+                self.sim.call_after(
+                    self.params.nic_cqe_ns,
+                    lambda c=completion: qp.send_cq.push(c))
+        if qp.retx:
+            qp.retx = deque(m for m in qp.retx if not m.acked)
+        if qp.current_tx is not None and qp.current_tx.acked:
+            qp.current_tx = None
+
+    def _rx_nak(self, packet: RcPacket) -> None:
+        qp = self.qps.get(packet.dst_qpn)
+        if qp is None or qp.state is not QpState.RTS:
+            return
+        if packet.ack_psn >= 0:
+            self._apply_cumulative_ack(qp, packet.ack_psn)
+        if packet.kind is RcKind.NAK_ACCESS:
+            self._qp_fatal(qp, WrStatus.REMOTE_ACCESS_ERROR)
+            return
+        if packet.kind is RcKind.NAK_RNR:
+            self.rnr_naks_received += 1
+            head = next((m for m in qp.outstanding if not m.acked), None)
+            if head is None:
+                return
+            head.rnr_retries += 1
+            if head.rnr_retries > self.params.rc_max_retries:
+                self._qp_fatal(qp, WrStatus.RNR_RETRY_EXCEEDED)
+                return
+            qp.tx_blocked_until = self.sim.now + self.params.rc_rnr_retry_delay_ns
+            self._rewind(qp)
+            self.sim.call_at(qp.tx_blocked_until,
+                             lambda: self._kick_qp(qp))
+            return
+        # NAK_SEQ: rewind unless we just did (spurious duplicate guard).
+        if self.sim.now - qp.last_rewind_ns < self.params.rc_retransmit_timeout_ns // 4:
+            return
+        self.stats.retransmissions += 1
+        self.retransmits += 1
+        self._rewind(qp)
+        self._kick_qp(qp)
+
+    # ---------------------------------------------------------------- errors
+    def flush(self, qp: QueuePair,
+              status: WrStatus = WrStatus.WR_FLUSH_ERROR) -> None:
+        """Public teardown path (rdma_cm disconnect, middleware keepalive)."""
+        self._qp_fatal(qp, status)
+
+    def _qp_fatal(self, qp: QueuePair, status: WrStatus) -> None:
+        """Move the QP to ERROR and flush every queued WR with an error CQE."""
+        if qp.state is QpState.ERROR:
+            return
+        qp.state = QpState.ERROR
+        first = True
+        flushed = []
+        if qp.current_tx is not None and not qp.current_tx.acked:
+            flushed.append(qp.current_tx.wr)
+        for msg in qp.outstanding:
+            if not msg.acked and (qp.current_tx is None
+                                  or msg is not qp.current_tx):
+                flushed.append(msg.wr)
+        flushed.extend(m.wr for m in qp.reads_in_flight.values())
+        flushed.extend(qp.sq)
+        seen = set()
+        for wr in flushed:
+            if wr.wr_id in seen:
+                continue
+            seen.add(wr.wr_id)
+            wr_status = status if first else WrStatus.WR_FLUSH_ERROR
+            first = False
+            qp.send_cq.push(Completion(
+                wr_id=wr.wr_id, status=wr_status, opcode=wr.opcode,
+                qp_num=qp.qpn))
+        for wr in qp.rq:
+            qp.recv_cq.push(Completion(
+                wr_id=wr.wr_id, status=WrStatus.WR_FLUSH_ERROR,
+                opcode=Opcode.RECV, qp_num=qp.qpn))
+        qp.sq.clear()
+        qp.rq.clear()
+        qp.outstanding.clear()
+        qp.retx.clear()
+        qp.reads_in_flight.clear()
+        qp.current_tx = None
+
+    # ------------------------------------------------------------- qp cache
+    def _qp_cache_access(self, qpn: int) -> int:
+        """LRU touch; returns the miss penalty in ns (0 on hit)."""
+        cache = self._qp_cache
+        if qpn in cache:
+            cache.move_to_end(qpn)
+            self.cache_hits += 1
+            return 0
+        self.cache_misses += 1
+        cache[qpn] = True
+        if len(cache) > self.params.nic_qp_cache_entries:
+            cache.popitem(last=False)
+        return self.params.nic_qp_cache_miss_ns

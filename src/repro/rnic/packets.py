@@ -1,0 +1,42 @@
+"""RC wire protocol units carried inside fabric segments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+from repro.rnic.wqe import Opcode
+
+#: Wire size of header-only protocol packets (ACK/NAK/READ_REQ/CNP).
+CTRL_BYTES = 16
+
+
+class RcKind(Enum):
+    DATA = auto()        #: SEND/WRITE fragment
+    READ_REQ = auto()    #: one-sided read request (responder streams back)
+    READ_RESP = auto()   #: read response fragment
+    ACK = auto()         #: cumulative acknowledgement
+    NAK_SEQ = auto()     #: out-of-sequence; requester rewinds (go-back-N)
+    NAK_RNR = auto()     #: receiver-not-ready: SEND found no posted RECV
+    NAK_ACCESS = auto()  #: rkey/bounds violation; fatal for the QP
+
+
+@dataclass
+class RcPacket:
+    kind: RcKind
+    src_qpn: int
+    dst_qpn: int
+    psn: int = 0
+    msg_id: int = 0               #: sender-side message (WQE) identity
+    opcode: Optional[Opcode] = None
+    offset: int = 0               #: fragment offset within the message
+    length: int = 0               #: fragment payload bytes
+    total_length: int = 0
+    first: bool = False
+    last: bool = False
+    remote_addr: int = 0
+    rkey: int = 0
+    imm_data: Optional[int] = None
+    ack_psn: int = -1             #: cumulative ack (ACK/NAK packets)
+    app_payload: object = None    #: rides the first fragment of a message

@@ -1,0 +1,50 @@
+"""Discrete-event simulation engine underlying the X-RDMA reproduction.
+
+The engine is a classic event-queue / generator-coroutine design (similar in
+spirit to simpy, written from scratch for this project so the whole substrate
+is self-contained).  Simulated time is measured in integer **nanoseconds**.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop.
+* :class:`~repro.sim.process.Process` — a running coroutine; created via
+  :meth:`Simulator.spawn`.
+* Awaitables yielded by processes: :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.AnyOf`,
+  :class:`~repro.sim.events.AllOf`.
+* :class:`~repro.sim.resources.Store`, :class:`~repro.sim.resources.Resource`
+  — blocking FIFO channel and counted resource.
+* :class:`~repro.sim.rng.RngStream` — named, seeded random streams.
+* :class:`~repro.sim.params.SimParams` — calibrated latency/bandwidth
+  constants shared by the whole substrate.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.params import SimParams
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry, RngStream
+from repro.sim.timeunits import MICROS, MILLIS, NANOS, SECONDS, ns_to_us, us
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "MICROS",
+    "MILLIS",
+    "NANOS",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "RngStream",
+    "SECONDS",
+    "SimParams",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "ns_to_us",
+    "us",
+]

@@ -1,0 +1,155 @@
+"""The discrete-event simulation loop.
+
+A binary heap keyed by ``(time, priority, sequence)`` orders events.  The
+sequence number makes the order of simultaneous events deterministic
+(insertion order), which the reproducibility guarantees of this project rely
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+# Heap priorities: interrupts preempt normal events at the same instant.
+_URGENT = 0
+_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure escaped a process with no observer."""
+
+
+class Simulator:
+    """Owns simulated time and the pending-event heap.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def pinger():
+            yield sim.timeout(5)
+            return "pong"
+
+        proc = sim.spawn(pinger())
+        sim.run()
+        assert proc.value == "pong"
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._sequence: int = 0
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- factories
+    def event(self, name: str = "") -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        """Fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute time ``when`` (≥ now)."""
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def call_after(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` ns."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # ------------------------------------------------------------- execution
+    def _schedule(self, event: Event, delay: int = 0,
+                  urgent: bool = False) -> None:
+        """Insert a triggered event into the heap (engine-internal)."""
+        self._sequence += 1
+        when = self._now + int(delay)
+        priority = _URGENT if urgent else _NORMAL
+        heapq.heappush(self._heap, (when, priority, self._sequence, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next pending event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        had_observers = bool(event.callbacks)
+        event._fire()
+        if (not event._ok and not had_observers
+                and not getattr(event, "defused", False)):
+            raise SimulationError(
+                f"unhandled failure in {event.name!r}: {event.value!r}"
+            ) from event.value
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
+        """Run until ``event`` fires; returns its value or raises its error.
+
+        ``limit`` bounds simulated time; exceeding it raises
+        :class:`SimulationError`.
+        """
+        if not event.processed:
+            # Mark the event observed so a failure is delivered here rather
+            # than raised as an unhandled error inside step().
+            event.add_callback(lambda _ev: None)
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: no pending events but {event.name!r} never fired")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for {event.name!r}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,98 @@
+"""Generator-coroutine processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+instances.  Yielding suspends the process until the event fires; the event's
+value is sent back into the generator (or its exception thrown in).
+
+A :class:`Process` is itself an :class:`Event` that fires when the generator
+returns, so processes can wait for each other (fork/join) simply by yielding
+the child process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine inside the simulation.
+
+    Create via :meth:`Simulator.spawn`.  The process-as-event fires with the
+    generator's return value, or fails with its uncaught exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(sim, name=name or getattr(
+            generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current instant.
+        start = Event(sim, name=f"{self.name}:start")
+        start.succeed(None)
+        start.add_callback(self._resume)
+        self._waiting_on = start
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is a no-op.  The event the process
+        was waiting on keeps running; the process may re-wait on it.
+        """
+        if not self.alive:
+            return
+        interrupt = Event(self.sim, name=f"{self.name}:interrupt")
+        interrupt._ok = False
+        interrupt._value = Interrupt(cause)
+        # Detach from whatever we were waiting on so that a later firing of
+        # that event does not resume us twice.
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.sim._schedule(interrupt, 0, urgent=True)
+        interrupt.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process died
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,74 @@
+"""Named, seeded random-number streams.
+
+Every stochastic decision in the substrate (ECMP hashing jitter, workload
+inter-arrival times, fault injection) draws from a named stream derived from
+a single root seed.  Two runs with the same root seed and the same stream
+names therefore produce identical event sequences, independent of the order
+in which subsystems are constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RngStream:
+    """A thin, intention-revealing wrapper over ``numpy.random.Generator``."""
+
+    def __init__(self, name: str, seed: int):
+        self.name = name
+        self.seed = seed
+        self._gen = np.random.default_rng(seed)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self._gen.uniform(low, high))
+
+    def randint(self, low: int, high: int) -> int:
+        """Integer in ``[low, high)``."""
+        return int(self._gen.integers(low, high))
+
+    def exponential(self, mean: float) -> float:
+        return float(self._gen.exponential(mean))
+
+    def pareto(self, shape: float, scale: float) -> float:
+        """Pareto-distributed value with minimum ``scale`` (heavy tail)."""
+        return float(scale * (1.0 + self._gen.pareto(shape)))
+
+    def normal(self, mean: float, std: float) -> float:
+        return float(self._gen.normal(mean, std))
+
+    def choice(self, seq):
+        return seq[self.randint(0, len(seq))]
+
+    def shuffle(self, seq: list) -> None:
+        self._gen.shuffle(seq)
+
+    def bernoulli(self, p: float) -> bool:
+        return bool(self._gen.uniform() < p)
+
+
+class RngRegistry:
+    """Derives reproducible per-name streams from one root seed."""
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = root_seed
+        self._streams: Dict[str, RngStream] = {}
+
+    def stream(self, name: str) -> RngStream:
+        """Get (or create) the stream for ``name``.
+
+        The stream's seed is a stable hash of ``(root_seed, name)``, so
+        construction order does not matter.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(
+            f"{self.root_seed}:{name}".encode()).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        stream = RngStream(name, seed)
+        self._streams[name] = stream
+        return stream

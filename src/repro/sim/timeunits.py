@@ -1,0 +1,47 @@
+"""Time-unit helpers.
+
+All simulated time in this project is an integer count of nanoseconds.  These
+constants and converters keep call sites legible (``5 * MICROS`` rather than
+``5000``).
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base tick).
+NANOS = 1
+#: Nanoseconds per microsecond.
+MICROS = 1_000
+#: Nanoseconds per millisecond.
+MILLIS = 1_000_000
+#: Nanoseconds per second.
+SECONDS = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(value * MICROS))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(value * MILLIS))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(value * SECONDS))
+
+
+def ns_to_us(value: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return value / MICROS
+
+
+def ns_to_ms(value: int) -> float:
+    """Convert integer nanoseconds to float milliseconds."""
+    return value / MILLIS
+
+
+def ns_to_seconds(value: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return value / SECONDS

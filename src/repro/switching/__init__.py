@@ -1,0 +1,5 @@
+"""Output-queued switches with ECN marking and PFC (RoCEv2 data plane)."""
+
+from repro.switching.switch import Switch
+
+__all__ = ["Switch"]

@@ -1,0 +1,160 @@
+"""The switch model.
+
+An output-queued switch with:
+
+* per-egress-port buffers with byte admission (overflow ⇒ drop, counted —
+  with PFC working correctly, lossless-class drops stay at zero),
+* RED-style ECN marking between ``ecn_kmin``/``ecn_kmax`` (what DCQCN's CNP
+  loop feeds on),
+* PFC: per-ingress-port byte accounting; crossing ``pfc_xoff`` sends a pause
+  frame to the upstream transmitter, falling below ``pfc_xon`` resumes it.
+
+Pause/resume frames travel out-of-band (they gate the upstream port at
+packet boundaries), matching 802.1Qbb behaviour closely enough for the
+congestion experiments (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.net.device import Device
+from repro.net.packet import Segment, SegmentKind
+from repro.topology.link import EgressPort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stats import NetStats
+    from repro.sim.engine import Simulator
+    from repro.sim.params import SimParams
+    from repro.sim.rng import RngStream
+
+#: Ingress port number used for segments injected by test harnesses.
+LOCAL_PORT = -1
+
+
+class Switch(Device):
+    """One switch; the topology wires ports and installs the route function."""
+
+    def __init__(self, sim: "Simulator", params: "SimParams",
+                 stats: "NetStats", rng: "RngStream", name: str):
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        self.rng = rng
+        self.name = name
+        self.ports: List[EgressPort] = []
+        #: in_port -> (upstream device, upstream's egress-port index)
+        self.neighbors: Dict[int, Tuple[Device, int]] = {}
+        #: installed by the topology: segment -> egress port index
+        self.route: Optional[Callable[[Segment], int]] = None
+        self._ingress_bytes: Dict[int, int] = defaultdict(int)
+        self._paused_upstream: Dict[int, bool] = defaultdict(bool)
+        self.pfc_enabled = True
+        self.drops = 0
+        self.marks = 0
+
+    # -------------------------------------------------------------- topology
+    def add_port(self, bandwidth_bps: Optional[float] = None) -> int:
+        """Create one egress port; returns its index."""
+        index = len(self.ports)
+        port = EgressPort(
+            self.sim, self.params, name=f"{self.name}.p{index}",
+            bandwidth_bps=bandwidth_bps, on_dequeue=self._on_dequeue)
+        self.ports.append(port)
+        return index
+
+    def register_neighbor(self, in_port: int, device: Device,
+                          their_port: int) -> None:
+        """Record who transmits into our ``in_port`` (PFC pause target)."""
+        self.neighbors[in_port] = (device, their_port)
+
+    # ------------------------------------------------------------- data path
+    def receive(self, segment: Segment, in_port: int) -> None:
+        """Forward one segment: route, admit, ECN-mark, PFC-account."""
+        if self.route is None:
+            raise RuntimeError(f"switch {self.name!r} has no routing installed")
+        segment.hops += 1
+        out_index = self.route(segment)
+        port = self.ports[out_index]
+
+        lossless = self.pfc_enabled and segment.priority == 0
+        if (port.queued_bytes + segment.size
+                > self.params.switch_port_buffer_bytes and not lossless):
+            # Lossy class (or PFC off): tail-drop at the nominal buffer.
+            # The lossless class instead absorbs the transient into PFC
+            # headroom — pause frames bound the overshoot.
+            self.drops += 1
+            self.stats.drops += 1
+            return
+
+        if segment.kind is SegmentKind.DATA and segment.ecn_capable:
+            if self._should_mark(port.queued_bytes):
+                segment.ecn_marked = True
+                self.marks += 1
+                self.stats.ecn_marks += 1
+
+        segment._pfc_ingress = in_port  # type: ignore[attr-defined]
+        segment._pfc_switch = self      # type: ignore[attr-defined]
+        self._ingress_bytes[in_port] += segment.size
+        self._check_xoff(in_port)
+        port.enqueue(segment)
+
+    def pause_port(self, port: int, priority: int, pause: bool) -> None:
+        """A downstream device paused/resumed the link our ``port`` feeds."""
+        self.ports[port].set_paused(pause)
+
+    # --------------------------------------------------------------- PFC/ECN
+    def _should_mark(self, queue_bytes: int) -> bool:
+        p = self.params
+        if queue_bytes <= p.ecn_kmin_bytes:
+            return False
+        if queue_bytes >= p.ecn_kmax_bytes:
+            return True
+        span = p.ecn_kmax_bytes - p.ecn_kmin_bytes
+        probability = p.ecn_pmax * (queue_bytes - p.ecn_kmin_bytes) / span
+        return self.rng.bernoulli(probability)
+
+    def _check_xoff(self, in_port: int) -> None:
+        if not self.pfc_enabled or in_port == LOCAL_PORT:
+            return
+        if (self._ingress_bytes[in_port] > self.params.pfc_xoff_bytes
+                and not self._paused_upstream[in_port]):
+            self._paused_upstream[in_port] = True
+            self.stats.pause_frames += 1
+            self._notify_upstream(in_port, pause=True)
+
+    def _check_xon(self, in_port: int) -> None:
+        if not self.pfc_enabled or in_port == LOCAL_PORT:
+            return
+        if (self._paused_upstream[in_port]
+                and self._ingress_bytes[in_port] <= self.params.pfc_xon_bytes):
+            self._paused_upstream[in_port] = False
+            self.stats.resume_frames += 1
+            self._notify_upstream(in_port, pause=False)
+
+    def _notify_upstream(self, in_port: int, pause: bool) -> None:
+        neighbor = self.neighbors.get(in_port)
+        if neighbor is None:
+            return
+        device, their_port = neighbor
+        # Pause frames are link-local: propagation delay only.
+        self.sim.call_after(
+            self.params.link_propagation_ns,
+            lambda: device.pause_port(their_port, 0, pause))
+
+    def _on_dequeue(self, segment: Segment) -> None:
+        if getattr(segment, "_pfc_switch", None) is not self:
+            return
+        in_port = segment._pfc_ingress  # type: ignore[attr-defined]
+        self._ingress_bytes[in_port] -= segment.size
+        self._check_xon(in_port)
+
+    # ------------------------------------------------------------ inspection
+    def queue_depth_bytes(self, port: int) -> int:
+        """Bytes queued at one egress port."""
+        return self.ports[port].queued_bytes
+
+    def total_queued_bytes(self) -> int:
+        """Bytes queued across all egress ports (buffer utilization)."""
+        return sum(port.queued_bytes for port in self.ports)

@@ -1,0 +1,211 @@
+"""XR-Perf: the benchmark and stress driver (Sec. VI-B).
+
+Beyond plain benchmarks, XR-Perf runs *customizable flow models* —
+latency ping-pongs, bandwidth streams, N→1 incast, and elephant/mice mixes
+— and reports results together with the fabric's crucial indexes, which is
+how the flow-control experiments (Fig. 10) are driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.analysis.stats import LatencyHistogram, jitter_index, mean
+from repro.sim.timeunits import MILLIS, SECONDS
+from repro.workloads.flows import (FlowSpec, elephant_size, mice_size,
+                                   open_loop_sender, request_loop)
+from repro.xrdma.message import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+    from repro.xrdma.context import XrdmaContext
+
+PERF_PORT = 9980
+
+
+@dataclass
+class PerfResult:
+    """One XR-Perf run's outcome."""
+
+    name: str
+    duration_ns: int = 0
+    messages: int = 0
+    bytes_moved: int = 0
+    latencies_ns: List[int] = field(default_factory=list)
+    crucial: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return mean(self.latencies_ns) / 1000 if self.latencies_ns else 0.0
+
+    @property
+    def goodput_gbps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.bytes_moved * 8 / self.duration_ns
+
+    @property
+    def jitter(self) -> float:
+        return jitter_index(self.latencies_ns)
+
+    def summary(self) -> str:
+        return (f"{self.name}: msgs={self.messages} "
+                f"goodput={self.goodput_gbps:.2f}Gbps "
+                f"lat_mean={self.mean_latency_us:.2f}us "
+                f"jitter={self.jitter:.3f} "
+                f"cnp={self.crucial.get('cnps_sent', 0)} "
+                f"pause={self.crucial.get('pause_frames', 0)}")
+
+
+class XrPerf:
+    """Drives workloads between contexts it creates (or is handed)."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self._contexts: Dict[int, "XrdmaContext"] = {}
+
+    def context(self, host_id: int, config=None) -> "XrdmaContext":
+        ctx = self._contexts.get(host_id)
+        if ctx is None:
+            ctx = self.cluster.xrdma_context(host_id, config=config,
+                                             name=f"xrperf-h{host_id}")
+            ctx.listen(PERF_PORT)
+            self._contexts[host_id] = ctx
+        return ctx
+
+    def _crucial_snapshot(self) -> Dict[str, int]:
+        return self.cluster.stats.snapshot()
+
+    @staticmethod
+    def _crucial_delta(before: Dict[str, int],
+                       after: Dict[str, int]) -> Dict[str, int]:
+        return {key: after[key] - before[key] for key in after}
+
+    # ------------------------------------------------------------- scenarios
+    def run_latency(self, src: int, dst: int, size: int,
+                    iterations: int = 50) -> PerfResult:
+        """Closed-loop RPC latency (one-way = RTT/2 recorded)."""
+        client = self.context(src)
+        server = self.context(dst)
+        self._install_echo(server)
+        result = PerfResult(name=f"latency-{size}B")
+        before = self._crucial_snapshot()
+        t0 = self.sim.now
+
+        def scenario():
+            channel = yield from client.connect(dst, PERF_PORT)
+            rtts: List[int] = []
+            yield from request_loop(client, channel, size, iterations,
+                                    latencies=rtts)
+            result.latencies_ns = [rtt // 2 for rtt in rtts]
+            yield from client.close_channel(channel)
+
+        proc = self.sim.spawn(scenario())
+        self.sim.run_until_event(proc, limit=self.sim.now + 600 * SECONDS)
+        result.duration_ns = self.sim.now - t0
+        result.messages = iterations
+        result.bytes_moved = iterations * size
+        result.crucial = self._crucial_delta(before, self._crucial_snapshot())
+        return result
+
+    def run_incast(self, sources: List[int], sink: int, size: int,
+                   messages_per_source: int, mean_gap_ns: int = 0,
+                   config=None) -> PerfResult:
+        """N→1 incast of open-loop senders (the Fig. 10 scenario)."""
+        sink_ctx = self.context(sink, config=config)
+        self._install_sink(sink_ctx)
+        result = PerfResult(name=f"incast-{len(sources)}to1-{size}B")
+        before = self._crucial_snapshot()
+        t0 = self.sim.now
+        procs = []
+        for src in sources:
+            ctx = self.context(src, config=config)
+            spec = FlowSpec(src=src, dst=sink, fixed_size=size,
+                            mean_gap_ns=mean_gap_ns,
+                            count=messages_per_source)
+            procs.append(self.sim.spawn(
+                self._incast_sender(ctx, sink, spec),
+                name=f"xrperf:incast{src}"))
+        done = self.sim.all_of(procs)
+        self.sim.run_until_event(done, limit=self.sim.now + 600 * SECONDS)
+        result.duration_ns = self.sim.now - t0
+        # Let control-plane tails (acks, CQEs) drain before reading counters.
+        self.sim.run(until=self.sim.now + 20 * MILLIS)
+        # Goodput counts *application* bytes only — retransmissions are
+        # waste, not work (they show up in result.crucial instead).
+        result.messages = sum((p.value or (0, 0))[0] for p in procs)
+        result.bytes_moved = sum((p.value or (0, 0))[1] for p in procs)
+        result.crucial = self._crucial_delta(before, self._crucial_snapshot())
+        return result
+
+    _sender_seq = 0
+
+    def _incast_sender(self, ctx, sink, spec):
+        channel = yield from ctx.connect(sink, PERF_PORT)
+        XrPerf._sender_seq += 1
+        rng = self.cluster.rng.stream(
+            f"xrperf:{spec.src}->{spec.dst}#{XrPerf._sender_seq}")
+        sent, sent_bytes = yield from open_loop_sender(ctx, channel, spec,
+                                                       rng)
+        # Wait for everything to be consumed before declaring done.
+        from repro.xrdma.channel import ChannelState
+        while channel.state is ChannelState.READY and (
+                channel.window.in_flight > 0 or channel.pending_send):
+            yield self.sim.timeout(100_000)
+        return sent, sent_bytes
+
+    def run_mixed(self, pairs: List, duration_ns: int,
+                  elephant_ratio: float = 0.1) -> PerfResult:
+        """Elephant/mice mix across ``pairs`` of (src, dst)."""
+        result = PerfResult(name="mixed-elephant-mice")
+        before = self._crucial_snapshot()
+        t0 = self.sim.now
+        procs = []
+        for index, (src, dst) in enumerate(pairs):
+            ctx = self.context(src)
+            self._install_sink(self.context(dst))
+            rng = self.cluster.rng.stream(f"xrperf:mix{index}")
+            is_elephant = rng.uniform() < elephant_ratio
+            spec = FlowSpec(
+                src=src, dst=dst,
+                size_fn=elephant_size if is_elephant else mice_size,
+                mean_gap_ns=(2 * MILLIS if is_elephant else 50_000),
+                duration_ns=duration_ns)
+            procs.append(self.sim.spawn(self._incast_sender(ctx, dst, spec)))
+        done = self.sim.all_of(procs)
+        self.sim.run_until_event(done, limit=self.sim.now + 600 * SECONDS)
+        result.duration_ns = self.sim.now - t0
+        result.messages = sum((p.value or (0, 0))[0] for p in procs)
+        result.bytes_moved = sum((p.value or (0, 0))[1] for p in procs)
+        result.crucial = self._crucial_delta(before, self._crucial_snapshot())
+        return result
+
+    # ------------------------------------------------------------- plumbing
+    def _install_echo(self, ctx: "XrdmaContext") -> None:
+        if getattr(ctx, "_xrperf_echo", False):
+            return
+        ctx._xrperf_echo = True
+
+        def loop():
+            while True:
+                msg = yield ctx.incoming.get()
+                if msg.is_request:
+                    ctx.send_response(msg, 64)
+
+        self.sim.spawn(loop(), name=f"xrperf:echo{ctx.nic.host_id}")
+
+    def _install_sink(self, ctx: "XrdmaContext") -> None:
+        if getattr(ctx, "_xrperf_sink", False):
+            return
+        ctx._xrperf_sink = True
+
+        def loop():
+            while True:
+                msg = yield ctx.incoming.get()
+                if msg.is_request:
+                    ctx.send_response(msg, 64)
+                # ONEWAY messages are consumed by the act of delivery.
+
+        self.sim.spawn(loop(), name=f"xrperf:sink{ctx.nic.host_id}")

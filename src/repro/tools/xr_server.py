@@ -1,0 +1,67 @@
+"""XR-Server: the standing diagnostic server (Sec. IV-A's fifth utility).
+
+The counterpart XR-Ping and XR-Perf talk to when no application is
+deployed yet: it answers echo requests, absorbs sink traffic, and serves
+its own statistics on request — useful for qualifying a fabric before
+rollout (the "20 potential issues found before deployment" workflow).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+    from repro.xrdma.config import XrdmaConfig
+    from repro.xrdma.context import XrdmaContext
+
+SERVER_PORT = 9970
+
+
+class XrServer:
+    """One diagnostic server instance on a host."""
+
+    def __init__(self, cluster: "Cluster", host_id: int,
+                 service_port: int = SERVER_PORT,
+                 config: Optional["XrdmaConfig"] = None):
+        self.cluster = cluster
+        self.host_id = host_id
+        self.service_port = service_port
+        self.ctx: "XrdmaContext" = cluster.xrdma_context(
+            host_id, config=config, name=f"xrserver{host_id}")
+        self.echoes = 0
+        self.sunk_msgs = 0
+        self.sunk_bytes = 0
+        self.stat_requests = 0
+        self.ctx.listen(service_port)
+        cluster.sim.spawn(self._serve(), name=f"xrserver{host_id}:loop")
+
+    def _serve(self):
+        while True:
+            msg = yield self.ctx.incoming.get()
+            if not msg.is_request:
+                self.sunk_msgs += 1
+                self.sunk_bytes += msg.payload_size
+                continue
+            op = msg.payload.get("op") if isinstance(msg.payload, dict) \
+                else "echo"
+            if op == "stat":
+                self.stat_requests += 1
+                self.ctx.send_response(msg, 256, payload=self.snapshot())
+            elif op == "sink":
+                self.sunk_msgs += 1
+                self.sunk_bytes += msg.payload_size
+                self.ctx.send_response(msg, 64, payload={"ok": True})
+            else:
+                self.echoes += 1
+                self.ctx.send_response(msg, msg.payload_size,
+                                       payload=msg.payload)
+
+    def snapshot(self) -> dict:
+        snap = self.ctx.stat_snapshot()
+        snap.update({
+            "echoes": self.echoes,
+            "sunk_msgs": self.sunk_msgs,
+            "sunk_bytes": self.sunk_bytes,
+        })
+        return snap

@@ -1,0 +1,249 @@
+"""Three-tier Clos fabric builder (Fig. 1: spine / leaf / ToR).
+
+The builder creates switches, wires full-duplex links, installs deterministic
+ECMP routing, and exposes :meth:`ClosTopology.attach` for host NICs.
+
+Routing is destination-based:
+
+* a ToR delivers to directly attached hosts, otherwise hashes the flow over
+  its leaf uplinks;
+* a leaf delivers down to a ToR in its pod, otherwise hashes over spines;
+* a spine hashes over the destination pod's leaves.
+
+The ECMP hash is an arithmetic function of ``(flow_id, src, dst, salt)`` so
+runs are reproducible regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.net.device import Device
+from repro.net.packet import Segment
+from repro.switching.switch import Switch
+from repro.topology.link import EgressPort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stats import NetStats
+    from repro.sim.engine import Simulator
+    from repro.sim.params import SimParams
+    from repro.sim.rng import RngRegistry
+
+
+def _ecmp_hash(segment: Segment, salt: int, n: int) -> int:
+    """Stable ECMP choice in ``[0, n)``."""
+    key = (segment.flow_id * 1_000_003
+           + segment.src * 10_007
+           + segment.dst * 97
+           + salt * 31)
+    return key % n
+
+
+@dataclass
+class _HostSlot:
+    tor: Switch
+    tor_down_port: int           #: ToR egress port pointing at the host
+    device: Optional[Device] = None
+    uplink: Optional[EgressPort] = None
+    #: additional ToR down-ports for multi-port NICs (dual-port CX4-Lx)
+    extra_down_ports: List[int] = None
+
+
+class ClosTopology:
+    """Builds and owns the fabric; hosts attach by id."""
+
+    def __init__(self, sim: "Simulator", params: "SimParams",
+                 stats: "NetStats", rng: "RngRegistry",
+                 n_pods: int = 1, leaves_per_pod: int = 2,
+                 tors_per_pod: int = 2, hosts_per_tor: int = 4,
+                 n_spines: int = 2):
+        if min(n_pods, leaves_per_pod, tors_per_pod, hosts_per_tor) < 1:
+            raise ValueError("all Clos dimensions must be >= 1")
+        if n_pods > 1 and n_spines < 1:
+            raise ValueError("multi-pod fabrics need at least one spine")
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        self.rng = rng
+        self.n_pods = n_pods
+        self.leaves_per_pod = leaves_per_pod
+        self.tors_per_pod = tors_per_pod
+        self.hosts_per_tor = hosts_per_tor
+        self.n_spines = n_spines
+
+        self.tors: List[Switch] = []       # index: pod * tors_per_pod + t
+        self.leaves: List[Switch] = []     # index: pod * leaves_per_pod + l
+        self.spines: List[Switch] = []
+        self._slots: Dict[int, _HostSlot] = {}
+        self._build()
+
+    # ------------------------------------------------------------ dimensions
+    @property
+    def n_hosts(self) -> int:
+        return self.n_pods * self.tors_per_pod * self.hosts_per_tor
+
+    def host_pod(self, host: int) -> int:
+        return host // (self.tors_per_pod * self.hosts_per_tor)
+
+    def host_tor_index(self, host: int) -> int:
+        """Global ToR index for a host id."""
+        return host // self.hosts_per_tor
+
+    def hosts_of_tor(self, tor_index: int) -> range:
+        base = tor_index * self.hosts_per_tor
+        return range(base, base + self.hosts_per_tor)
+
+    # ------------------------------------------------------------------ build
+    def _switch(self, name: str) -> Switch:
+        return Switch(self.sim, self.params, self.stats,
+                      self.rng.stream(f"switch:{name}"), name)
+
+    def _link(self, a: Switch, a_port: int, b: Switch, b_port: int) -> None:
+        """Wire a full-duplex link between two existing switch ports."""
+        a.ports[a_port].connect(b, b_port)
+        b.ports[b_port].connect(a, a_port)
+        a.register_neighbor(a_port, b, b_port)
+        b.register_neighbor(b_port, a, a_port)
+
+    def _build(self) -> None:
+        for s in range(self.n_spines):
+            self.spines.append(self._switch(f"spine{s}"))
+        for pod in range(self.n_pods):
+            for l in range(self.leaves_per_pod):
+                self.leaves.append(self._switch(f"leaf{pod}.{l}"))
+            for t in range(self.tors_per_pod):
+                self.tors.append(self._switch(f"tor{pod}.{t}"))
+
+        # ToR ports: [0, hosts_per_tor) down to hosts,
+        #            [hosts_per_tor, +leaves_per_pod) up to pod leaves.
+        for tor_index, tor in enumerate(self.tors):
+            pod = tor_index // self.tors_per_pod
+            for _ in range(self.hosts_per_tor):
+                tor.add_port()       # connected when the host attaches
+            for l in range(self.leaves_per_pod):
+                up = tor.add_port()
+                leaf = self.leaves[pod * self.leaves_per_pod + l]
+                down = leaf.add_port()
+                self._link(tor, up, leaf, down)
+            tor.route = self._make_tor_route(tor_index)
+
+        # Leaf ports: [0, tors_per_pod) down (wired above),
+        #             [tors_per_pod, +n_spines) up to all spines.
+        for leaf_index, leaf in enumerate(self.leaves):
+            for s in range(self.n_spines):
+                up = leaf.add_port()
+                spine = self.spines[s]
+                down = spine.add_port()
+                self._link(leaf, up, spine, down)
+            leaf.route = self._make_leaf_route(leaf_index)
+
+        # Spine ports: leaves in wiring order — pod-major, leaf-minor.
+        for spine_index, spine in enumerate(self.spines):
+            spine.route = self._make_spine_route(spine_index)
+
+    # ---------------------------------------------------------------- routing
+    def _make_tor_route(self, tor_index: int):
+        def route(segment: Segment) -> int:
+            if self.host_tor_index(segment.dst) == tor_index:
+                slot = self._slots.get(segment.dst)
+                if slot is None or slot.device is None:
+                    raise RuntimeError(
+                        f"segment for unattached host {segment.dst}")
+                if slot.extra_down_ports:
+                    # Multi-port host: spread flows across its links.
+                    ports = [slot.tor_down_port] + slot.extra_down_ports
+                    return ports[_ecmp_hash(segment, salt=segment.dst,
+                                            n=len(ports))]
+                return segment.dst % self.hosts_per_tor
+            choice = _ecmp_hash(segment, salt=tor_index, n=self.leaves_per_pod)
+            return self.hosts_per_tor + choice
+        return route
+
+    def _make_leaf_route(self, leaf_index: int):
+        pod = leaf_index // self.leaves_per_pod
+
+        def route(segment: Segment) -> int:
+            if self.host_pod(segment.dst) == pod:
+                tor_in_pod = (self.host_tor_index(segment.dst)
+                              % self.tors_per_pod)
+                return tor_in_pod
+            choice = _ecmp_hash(segment, salt=1000 + leaf_index,
+                                n=self.n_spines)
+            return self.tors_per_pod + choice
+        return route
+
+    def _make_spine_route(self, spine_index: int):
+        def route(segment: Segment) -> int:
+            pod = self.host_pod(segment.dst)
+            leaf_choice = _ecmp_hash(segment, salt=2000 + spine_index,
+                                     n=self.leaves_per_pod)
+            # Spine down-ports were added pod-major, leaf-minor.
+            return pod * self.leaves_per_pod + leaf_choice
+        return route
+
+    # ----------------------------------------------------------------- hosts
+    def attach(self, host: int, device: Device,
+               bandwidth_bps: Optional[float] = None) -> EgressPort:
+        """Plug ``device`` in as host ``host``; returns its uplink port.
+
+        The device will see :meth:`Device.receive` calls with ``in_port=0``
+        and PFC gating via :meth:`Device.pause_port` on port 0.
+        """
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host id {host} outside [0, {self.n_hosts})")
+        if host in self._slots and self._slots[host].device is not None:
+            raise ValueError(f"host {host} already attached")
+        tor = self.tors[self.host_tor_index(host)]
+        down_port = host % self.hosts_per_tor
+
+        uplink = EgressPort(self.sim, self.params, name=f"host{host}.up",
+                            bandwidth_bps=bandwidth_bps)
+        # ToR's ingress from this host is numbered by the down-port index.
+        uplink.connect(tor, down_port)
+        tor.ports[down_port].connect(device, 0)
+        tor.register_neighbor(down_port, device, 0)
+
+        self._slots[host] = _HostSlot(
+            tor=tor, tor_down_port=down_port, device=device, uplink=uplink,
+            extra_down_ports=[])
+        return uplink
+
+    def attach_extra_port(self, host: int, device: Device, nic_port: int,
+                          bandwidth_bps: Optional[float] = None
+                          ) -> EgressPort:
+        """Wire an additional NIC port for ``host`` to its ToR.
+
+        The device receives with ``in_port=nic_port`` and is PFC-gated via
+        ``pause_port(nic_port, ...)``; the ToR spreads inbound flows over
+        all of the host's links.
+        """
+        slot = self._slots.get(host)
+        if slot is None or slot.device is not device:
+            raise ValueError(f"host {host} must attach its primary port first")
+        tor = slot.tor
+        down_port = tor.add_port()
+        uplink = EgressPort(self.sim, self.params,
+                            name=f"host{host}.up{nic_port}",
+                            bandwidth_bps=bandwidth_bps)
+        uplink.connect(tor, down_port)
+        tor.ports[down_port].connect(device, nic_port)
+        tor.register_neighbor(down_port, device, nic_port)
+        slot.extra_down_ports.append(down_port)
+        return uplink
+
+    def host_device(self, host: int) -> Device:
+        slot = self._slots.get(host)
+        if slot is None or slot.device is None:
+            raise KeyError(f"host {host} is not attached")
+        return slot.device
+
+    def path_hops(self, src: int, dst: int) -> int:
+        """Switch count on the (ECMP-independent) src→dst path."""
+        if src == dst:
+            return 0
+        if self.host_tor_index(src) == self.host_tor_index(dst):
+            return 1
+        if self.host_pod(src) == self.host_pod(dst):
+            return 3  # tor-leaf-tor
+        return 5      # tor-leaf-spine-leaf-tor

@@ -1,0 +1,103 @@
+"""Egress ports: the queue + wire model.
+
+Every transmitting entity (a switch output, a NIC uplink) owns an
+:class:`EgressPort`.  The port serializes segments at the link bandwidth,
+honours PFC pause at packet boundaries, and delivers to the peer device
+after the propagation delay.
+
+Buffer *admission* is the owner's job (switches check occupancy before
+calling :meth:`EgressPort.enqueue`); the port itself only accounts bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from repro.net.packet import Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.device import Device
+    from repro.sim.engine import Simulator
+    from repro.sim.params import SimParams
+
+
+class EgressPort:
+    """A FIFO transmit queue feeding one unidirectional wire."""
+
+    def __init__(self, sim: "Simulator", params: "SimParams", name: str,
+                 bandwidth_bps: Optional[float] = None,
+                 on_dequeue: Optional[Callable[[Segment], None]] = None):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps or params.link_bandwidth_bps
+        self.peer: Optional["Device"] = None
+        self.peer_port: int = 0
+        self.queue: Deque[Segment] = deque()
+        self.queued_bytes = 0
+        self.paused = False
+        self.busy = False
+        #: owner hook, fires when a segment leaves the queue (PFC xon checks)
+        self.on_dequeue = on_dequeue
+        self.tx_segments = 0
+        self.tx_bytes = 0
+
+    def connect(self, peer: "Device", peer_port: int) -> None:
+        """Point the wire at ``peer``'s ingress ``peer_port``."""
+        self.peer = peer
+        self.peer_port = peer_port
+
+    # -------------------------------------------------------------- data path
+    def enqueue(self, segment: Segment) -> None:
+        """Queue a segment for transmission (admission already decided)."""
+        if self.peer is None:
+            raise RuntimeError(f"egress port {self.name!r} is not connected")
+        self.queue.append(segment)
+        self.queued_bytes += segment.size
+        segment.enqueued_at = self.sim.now
+        self._kick()
+
+    def set_paused(self, paused: bool) -> None:
+        """PFC gate: True blocks transmission at the next packet boundary."""
+        self.paused = paused
+        if not paused:
+            self._kick()
+
+    # ------------------------------------------------------------ out-of-band
+    def send_immediate(self, segment: Segment) -> None:
+        """Deliver bypassing the queue (PFC pause frames are link-level)."""
+        if self.peer is None:
+            raise RuntimeError(f"egress port {self.name!r} is not connected")
+        peer, port = self.peer, self.peer_port
+        self.sim.call_after(
+            self.params.link_propagation_ns,
+            lambda: peer.receive(segment, port))
+
+    # --------------------------------------------------------------- internal
+    def _kick(self) -> None:
+        if not self.busy and not self.paused and self.queue:
+            self.busy = True
+            self.sim.spawn(self._tx_loop(), name=f"{self.name}:tx")
+
+    def _serialization_ns(self, segment: Segment) -> int:
+        wire_bytes = segment.size + self.params.header_bytes
+        return max(1, int(round(wire_bytes * 8 / self.bandwidth_bps * 1e9)))
+
+    def _tx_loop(self):
+        while self.queue and not self.paused:
+            segment = self.queue.popleft()
+            self.queued_bytes -= segment.size
+            yield self.sim.timeout(self._serialization_ns(segment))
+            self.tx_segments += 1
+            self.tx_bytes += segment.size
+            peer, port = self.peer, self.peer_port
+            self.sim.call_after(
+                self.params.link_propagation_ns,
+                lambda seg=segment: peer.receive(seg, port))
+            if self.on_dequeue is not None:
+                self.on_dequeue(segment)
+        self.busy = False
+        # A resume or enqueue may have landed while we were serializing the
+        # final segment; re-check so nothing is stranded.
+        self._kick()

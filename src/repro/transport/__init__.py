@@ -1,0 +1,5 @@
+"""End-to-end congestion control: the DCQCN rate controller."""
+
+from repro.transport.dcqcn import CnpGovernor, DcqcnRateLimiter
+
+__all__ = ["CnpGovernor", "DcqcnRateLimiter"]

@@ -1,0 +1,14 @@
+"""The verbs surface X-RDMA (and every baseline) is built on.
+
+:class:`~repro.verbs.api.VerbsContext` mirrors the libibverbs call set the
+paper's Sec. II-A walks through — the "complex ritual" of context, PD, MR,
+CQ, QP, modify, post, poll.  :class:`~repro.verbs.cm.CmAgent` mirrors
+librdmacm with its production-relevant property: establishment costs
+milliseconds (Sec. III, Issue 3).
+"""
+
+from repro.verbs.api import VerbsContext
+from repro.verbs.cm import CmAgent, CmConnection, CmListener, ConnectError
+
+__all__ = ["CmAgent", "CmConnection", "CmListener", "ConnectError",
+           "VerbsContext"]

@@ -1,0 +1,163 @@
+"""libibverbs-shaped API over the simulated RNIC.
+
+Calls that cost host time return events; application processes yield them::
+
+    mr = yield ctx.reg_mr(pd, buf.addr, buf.length)
+    yield ctx.post_send(qp, wr)
+    completions = ctx.poll_cq(cq)       # non-blocking, like ibv_poll_cq
+
+The cost model is the part that matters to the middleware: MR registration
+is tens of µs (why X-RDMA pools 4 MB MRs), QP creation is ~1 ms (why the QP
+cache exists), posting is ~200 ns (why per-message overheads stay small).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.memory.host import AllocMode, HostMemory
+from repro.rnic.cq import CompletionQueue
+from repro.rnic.mr import AccessFlags, MemoryRegion, ProtectionDomain
+from repro.rnic.qp import QpState, QueuePair, SharedReceiveQueue
+from repro.rnic.wqe import Completion, WorkRequest
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rnic.nic import Rnic
+    from repro.sim.engine import Simulator
+    from repro.sim.params import SimParams
+
+
+class VerbsContext:
+    """One process's handle on its host's RNIC (ibv_context)."""
+
+    def __init__(self, sim: "Simulator", params: "SimParams", nic: "Rnic",
+                 memory: Optional[HostMemory] = None):
+        self.sim = sim
+        self.params = params
+        self.nic = nic
+        self.memory = memory or HostMemory()
+        self.mrs_registered = 0
+        self.qps_created = 0
+
+    # ----------------------------------------------------------------- infra
+    def _charged(self, cost_ns: int, effect: Callable[[], object]) -> Event:
+        """Run ``effect`` after ``cost_ns``; the returned event carries its
+        result (or failure)."""
+        done = self.sim.event()
+
+        def fire(_ev: Event) -> None:
+            try:
+                done.succeed(effect())
+            except BaseException as exc:  # noqa: BLE001 - surface to caller
+                done.fail(exc)
+
+        self.sim.timeout(cost_ns).add_callback(fire)
+        return done
+
+    # ------------------------------------------------------------------- PDs
+    def alloc_pd(self) -> ProtectionDomain:
+        return ProtectionDomain()
+
+    # ------------------------------------------------------------------- MRs
+    def reg_mr(self, pd: ProtectionDomain, addr: int, length: int,
+               access: AccessFlags = AccessFlags.all_remote()) -> Event:
+        """Register RDMA-enabled memory (pins pages; cost scales with size)."""
+        def effect() -> MemoryRegion:
+            mr = pd.register(addr, length, access)
+            self.nic.mr_table.install(mr)
+            self.mrs_registered += 1
+            return mr
+        return self._charged(self.params.mr_register_ns(length), effect)
+
+    def dereg_mr(self, pd: ProtectionDomain, mr: MemoryRegion) -> Event:
+        def effect() -> None:
+            pd.deregister(mr)
+            self.nic.mr_table.remove(mr)
+        return self._charged(self.params.mr_register_base_ns // 2, effect)
+
+    # ------------------------------------------------------------------- CQs
+    def create_cq(self, depth: int = 1024) -> CompletionQueue:
+        return CompletionQueue(self.sim, depth)
+
+    def create_srq(self, depth: int = 1024) -> SharedReceiveQueue:
+        return SharedReceiveQueue(depth)
+
+    # ------------------------------------------------------------------- QPs
+    def create_qp(self, pd: ProtectionDomain, send_cq: CompletionQueue,
+                  recv_cq: CompletionQueue,
+                  sq_depth: Optional[int] = None,
+                  rq_depth: Optional[int] = None,
+                  srq: Optional[SharedReceiveQueue] = None) -> Event:
+        """Allocate a QP (≈1 ms of firmware/driver work)."""
+        def effect() -> QueuePair:
+            qp = QueuePair(
+                pd, send_cq, recv_cq,
+                sq_depth=sq_depth or self.params.max_send_queue_depth,
+                rq_depth=rq_depth or self.params.max_recv_queue_depth,
+                srq=srq)
+            self.nic.register_qp(qp)
+            self.qps_created += 1
+            return qp
+        return self._charged(self.params.qp_create_ns, effect)
+
+    def modify_qp(self, qp: QueuePair, state: QpState,
+                  remote_host: Optional[int] = None,
+                  remote_qpn: Optional[int] = None) -> Event:
+        """One verbs state transition (each costs ``qp_modify_ns``)."""
+        def effect() -> QueuePair:
+            if state is QpState.RESET:
+                qp.reset()
+            else:
+                qp.transition(state)
+            if state is QpState.RTR:
+                if remote_host is None or remote_qpn is None:
+                    raise ValueError("RTR requires remote_host and remote_qpn")
+                qp.set_peer(remote_host, remote_qpn)
+            return qp
+        cost = (self.params.qp_reset_ns if state is QpState.RESET
+                else self.params.qp_modify_ns)
+        return self._charged(cost, effect)
+
+    def destroy_qp(self, qp: QueuePair) -> Event:
+        def effect() -> None:
+            self.nic.destroy_qp(qp)
+        return self._charged(self.params.qp_reset_ns, effect)
+
+    # -------------------------------------------------------------------- DC
+    def create_dc_initiator(self, pd: ProtectionDomain,
+                            send_cq: CompletionQueue):
+        """A DC initiator (DCI): one send object, many targets (Sec. IX)."""
+        from repro.rnic.dct import DcInitiator
+        return DcInitiator(self.sim, self.params, self.nic, pd, send_cq)
+
+    def create_dc_target(self, pd: ProtectionDomain,
+                         recv_cq: CompletionQueue,
+                         srq: SharedReceiveQueue):
+        """A DC target (DCT); receives land in the mandatory SRQ."""
+        from repro.rnic.dct import DcTarget
+        target = DcTarget(self.nic, pd, recv_cq, srq)
+        self.nic.register_dc_target(target)
+        return target
+
+    # ----------------------------------------------------------------- datap
+    def post_send(self, qp: QueuePair, wr: WorkRequest) -> Event:
+        return self._charged(
+            self.params.host_post_overhead_ns,
+            lambda: self.nic.post_send(qp, wr))
+
+    def post_recv(self, qp: QueuePair, wr: WorkRequest) -> Event:
+        return self._charged(
+            self.params.host_post_overhead_ns,
+            lambda: qp.post_recv(wr))
+
+    def post_srq_recv(self, srq: SharedReceiveQueue,
+                      wr: WorkRequest) -> Event:
+        return self._charged(
+            self.params.host_post_overhead_ns,
+            lambda: srq.post(wr))
+
+    def poll_cq(self, cq: CompletionQueue,
+                max_entries: int = 16) -> List[Completion]:
+        """Non-blocking poll (the caller's loop provides pacing)."""
+        return cq.poll(max_entries)

@@ -1,0 +1,98 @@
+"""Flow models (Sec. VI-B: "customize flow models, e.g., elephant and mice
+flows").
+
+Mice are short, latency-sensitive messages (≤ a few KB); elephants are
+bulk transfers (hundreds of KB to MBs) — the mix that drives incast and
+head-of-line effects in the paper's production workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.xrdma.message import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngStream
+    from repro.xrdma.channel import XrdmaChannel
+    from repro.xrdma.context import XrdmaContext
+
+
+def mice_size(rng: "RngStream") -> int:
+    """Short message: 64 B – 4 KB, biased small (log-uniform)."""
+    exponent = rng.uniform(6, 12)        # 2^6 .. 2^12
+    return int(2 ** exponent)
+
+
+def elephant_size(rng: "RngStream") -> int:
+    """Bulk transfer: 256 KB – 4 MB, heavy-tailed."""
+    size = rng.pareto(shape=1.5, scale=256 * 1024)
+    return min(int(size), 4 * 1024 * 1024)
+
+
+@dataclass
+class FlowSpec:
+    """A unidirectional traffic description between two contexts."""
+
+    src: int
+    dst: int
+    #: draws a message size (rng -> bytes)
+    size_fn: Callable = None
+    fixed_size: int = 4096
+    #: mean inter-arrival gap; 0 = closed loop (next after previous acked)
+    mean_gap_ns: int = 0
+    count: Optional[int] = None          #: messages to send (None = endless)
+    duration_ns: Optional[int] = None    #: stop after this long
+    kind: MessageKind = MessageKind.ONEWAY
+
+    def draw_size(self, rng: "RngStream") -> int:
+        if self.size_fn is not None:
+            return self.size_fn(rng)
+        return self.fixed_size
+
+
+def open_loop_sender(ctx: "XrdmaContext", channel: "XrdmaChannel",
+                     spec: FlowSpec, rng: "RngStream",
+                     sent_log: Optional[List] = None):
+    """Process generator: send per ``spec`` with Poisson-ish gaps.
+
+    Open loop: does not wait for acks, so bursts genuinely overrun the
+    receiver the way production incast does.
+    """
+    sim = ctx.sim
+    started = sim.now
+    sent = 0
+    sent_bytes = 0
+    while True:
+        if spec.count is not None and sent >= spec.count:
+            return sent, sent_bytes
+        if spec.duration_ns is not None \
+                and sim.now - started >= spec.duration_ns:
+            return sent, sent_bytes
+        size = spec.draw_size(rng)
+        try:
+            msg = ctx.send_msg(channel, size, kind=spec.kind)
+        except Exception:  # noqa: BLE001 - channel died mid-run
+            return sent, sent_bytes
+        sent += 1
+        sent_bytes += size
+        if sent_log is not None:
+            sent_log.append((sim.now, size, msg))
+        gap = int(rng.exponential(spec.mean_gap_ns)) if spec.mean_gap_ns \
+            else 0
+        yield sim.timeout(max(gap, 1))
+
+
+def request_loop(ctx: "XrdmaContext", channel: "XrdmaChannel",
+                 size: int, count: int, response_size: int = 64,
+                 latencies: Optional[List[int]] = None):
+    """Process generator: closed-loop RPC ping (latency measurement)."""
+    sim = ctx.sim
+    for _ in range(count):
+        t0 = sim.now
+        request = ctx.send_request(channel, size)
+        yield request.response
+        if latencies is not None:
+            latencies.append(sim.now - t0)
+    return count

@@ -1,0 +1,386 @@
+"""One X-RDMA channel (connection).
+
+The channel implements the message model of Sec. IV-C over one RC QP:
+
+* **small messages** (≤ ``small_msg_size``) go eagerly as SEND_IMM — one
+  RDMA operation, receive buffers pre-posted from the memory cache;
+* **large messages** rendezvous: a header-only SEND announces (size, addr,
+  rkey); the *receiver* allocates on demand and RDMA-Reads the payload —
+  the same "Read replaces Write" path serves large RPC responses;
+* every transmission piggybacks the seq-ack window's cumulative ack;
+* keepAlive probes are zero-byte RDMA Writes the peer RNIC acknowledges in
+  hardware;
+* data WRs flow through the per-channel :class:`FlowController`.
+
+All generator methods are driven by the owning context's run-to-complete
+loop — the channel never blocks anyone else's progress.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
+
+from repro.rnic.qp import QpState
+from repro.rnic.wqe import Completion, Opcode, WorkRequest
+from repro.xrdma.flowctl import FlowController
+from repro.xrdma.memcache import RdmaBuffer
+from repro.xrdma.message import (MessageKind, XrdmaHeader, XrdmaMessage)
+from repro.xrdma.seqack import SeqAckWindow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.cm import CmConnection
+    from repro.xrdma.context import XrdmaContext
+
+_channel_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+class ChannelState(Enum):
+    """Lifecycle of a channel (READY until closed or found dead)."""
+    READY = auto()
+    BROKEN = auto()     #: peer dead or QP errored; resources released
+    CLOSED = auto()     #: orderly shutdown
+
+
+class ChannelBroken(RuntimeError):
+    """Raised into waiters when the channel dies under them."""
+
+
+@dataclass
+class _WrRoute:
+    """Send-CQE demultiplexing record."""
+
+    tag: str                       #: small|announce|ctrl|read|keepalive
+    message: Optional[XrdmaMessage] = None
+    seq: int = -1
+    last_fragment: bool = False
+    header: Optional[XrdmaHeader] = None
+
+
+@dataclass
+class _Rendezvous:
+    """Receiver-side state for one in-progress large-message read."""
+
+    seq: int
+    header: XrdmaHeader
+    buffer: Optional[RdmaBuffer]
+    fragments_left: int
+    started_at: int
+
+
+class XrdmaChannel:
+    """One established connection between two X-RDMA contexts."""
+
+    def __init__(self, ctx: "XrdmaContext", conn: "CmConnection",
+                 window_depth: int):
+        self.ctx = ctx
+        self.conn = conn
+        self.qp = conn.qp
+        self.channel_id = next(_channel_ids)
+        self.state = ChannelState.READY
+        self.window = SeqAckWindow(window_depth)
+        self.flow = FlowController(
+            ctx.verbs, self.qp,
+            max_outstanding=ctx.config.max_outstanding_wrs,
+            fragment_bytes=ctx.config.fragment_bytes,
+            enabled=ctx.config.flow_control,
+            budget=ctx.wr_budget)
+        self.pending_send: Deque[XrdmaMessage] = deque()
+        self.sent: Dict[int, XrdmaMessage] = {}          # seq -> message
+        self.pending_requests: Dict[int, XrdmaMessage] = {}  # msg_id -> req
+        self._rendezvous: Dict[int, _Rendezvous] = {}    # seq -> state
+        #: completed arrivals awaiting in-order delivery to the app
+        self._pending_delivery: Dict[int, Tuple[XrdmaHeader, int]] = {}
+        self._next_deliver_seq = 0
+        self._recv_buffers: Deque[RdmaBuffer] = deque()
+        self.last_rx_ns = ctx.sim.now
+        self.last_tx_ns = ctx.sim.now
+        self.keepalive_in_flight = False
+        self.on_request = None        #: optional handler(msg) for RPC servers
+        self.on_broken = None         #: callback(channel) on failure
+        self.stats = {
+            "tx_msgs": 0, "rx_msgs": 0, "tx_bytes": 0, "rx_bytes": 0,
+            "acks_sent": 0, "nops_sent": 0, "keepalives_sent": 0,
+            "rendezvous_reads": 0, "queued_peak": 0,
+        }
+
+    # ------------------------------------------------------------ public api
+    @property
+    def remote_host(self) -> int:
+        """Peer host id."""
+        return self.conn.remote_host
+
+    def queue_message(self, msg: XrdmaMessage) -> XrdmaMessage:
+        """Accept a message for transmission (called by context.send_msg)."""
+        if self.state is not ChannelState.READY:
+            raise ChannelBroken(f"channel {self.channel_id} is {self.state.name}")
+        msg.channel = self
+        msg.created_at = self.ctx.sim.now
+        msg.acked = self.ctx.sim.event(f"ch{self.channel_id}:acked")
+        msg.acked.defused = True
+        if msg.kind is MessageKind.REQUEST:
+            msg.response = self.ctx.sim.event(f"ch{self.channel_id}:resp")
+            msg.response.defused = True
+            self.pending_requests[msg.msg_id] = msg
+        self.pending_send.append(msg)
+        self.stats["queued_peak"] = max(self.stats["queued_peak"],
+                                        len(self.pending_send))
+        return msg
+
+    # --------------------------------------------------------------- tx pump
+    def pump(self):
+        """Generator: move queued messages onto the wire while the window
+        has room (driven by the context loop)."""
+        while (self.pending_send and self.window.can_send()
+               and self.state is ChannelState.READY):
+            msg = self.pending_send.popleft()
+            seq = self.window.next_seq()
+            header = self._make_header(msg, seq)
+            self.sent[seq] = msg
+            msg.header = header
+            if header.large:
+                yield from self._send_announce(msg, header)
+            else:
+                yield from self._send_small(msg, header)
+            self.stats["tx_msgs"] += 1
+            self.stats["tx_bytes"] += msg.payload_size
+            self.last_tx_ns = self.ctx.sim.now
+            self.window.note_ack_sent()
+
+    def _make_header(self, msg: XrdmaMessage, seq: int) -> XrdmaHeader:
+        config = self.ctx.config
+        header = XrdmaHeader(
+            kind=msg.kind, seq=seq, ack=self.window.ack_to_send(),
+            msg_id=msg.msg_id, payload_size=msg.payload_size,
+            large=(msg.payload_size > config.small_msg_size),
+            request_msg_id=msg.request_msg_id,
+            user_payload=msg.payload)
+        if config.req_rsp_mode:
+            header.trace_id = next(_trace_ids)
+            header.sent_at_ns = self.ctx.local_time()
+        return header
+
+    def _send_small(self, msg: XrdmaMessage, header: XrdmaHeader):
+        wire = msg.payload_size + header.wire_bytes(self.ctx.config.req_rsp_mode)
+        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
+                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
+        self.ctx.route_wr(wr, self, _WrRoute(tag="small", message=msg,
+                                             seq=header.seq))
+        yield from self.flow.post(wr)
+
+    def _send_announce(self, msg: XrdmaMessage, header: XrdmaHeader):
+        # The payload must live in RDMA-enabled memory the peer can read.
+        if not isinstance(getattr(msg, "src_buffer", None), RdmaBuffer):
+            msg.src_buffer = yield from self.ctx.memcache.alloc(
+                msg.payload_size)
+            msg.owns_buffer = True
+        header.src_addr = msg.src_buffer.addr
+        header.src_rkey = msg.src_buffer.rkey
+        wire = header.wire_bytes(self.ctx.config.req_rsp_mode)
+        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
+                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
+        self.ctx.route_wr(wr, self, _WrRoute(tag="announce", message=msg,
+                                             seq=header.seq))
+        yield from self.flow.post(wr)
+
+    def send_control(self, kind: MessageKind):
+        """Generator: standalone ACK or NOP (no window slot consumed)."""
+        header = XrdmaHeader(
+            kind=kind, seq=-1, ack=self.window.ack_to_send(),
+            msg_id=0, payload_size=0)
+        wr = WorkRequest(
+            opcode=Opcode.SEND,
+            length=header.wire_bytes(self.ctx.config.req_rsp_mode),
+            payload=header)
+        self.ctx.route_wr(wr, self, _WrRoute(tag="ctrl", header=header))
+        self.window.note_ack_sent()
+        if kind is MessageKind.ACK:
+            self.stats["acks_sent"] += 1
+        elif kind is MessageKind.NOP:
+            self.stats["nops_sent"] += 1
+        self.last_tx_ns = self.ctx.sim.now
+        yield self.ctx.verbs.post_send(self.qp, wr)
+
+    def keepalive_probe(self):
+        """Generator: zero-byte RDMA Write; the peer RNIC acks in hardware."""
+        if self.keepalive_in_flight or self.state is not ChannelState.READY:
+            return
+        self.keepalive_in_flight = True
+        self.stats["keepalives_sent"] += 1
+        wr = WorkRequest(opcode=Opcode.WRITE, length=0, remote_addr=0, rkey=1)
+        self.ctx.route_wr(wr, self, _WrRoute(tag="keepalive"))
+        yield self.ctx.verbs.post_send(self.qp, wr)
+
+    # ------------------------------------------------------------- rx path
+    def on_receive(self, completion: Completion):
+        """Generator: process one inbound message header (from a RECV CQE)."""
+        header: XrdmaHeader = completion.payload
+        self.last_rx_ns = self.ctx.sim.now
+        if header.ack >= 0:
+            self._apply_peer_ack(header.ack)
+        if header.kind in (MessageKind.ACK, MessageKind.NOP):
+            yield from self.pump()      # freed window slots: move the queue
+            return
+        if header.kind is MessageKind.CLOSE:
+            yield from self.ctx.close_channel(self, notify=False)
+            return
+        self.window.on_arrival(header.seq, complete=not header.large)
+        if header.large:
+            yield from self._start_rendezvous(header)
+        else:
+            # Delivery is strictly in sequence order: a small message must
+            # not overtake an earlier large one whose read is in flight.
+            self._pending_delivery[header.seq] = (header, self.ctx.sim.now)
+            self._flush_deliveries()
+        yield from self._post_arrival_duties()
+
+    def _flush_deliveries(self) -> None:
+        """Hand the app every message inside the window's ready prefix."""
+        while self._next_deliver_seq < self.window.rta:
+            entry = self._pending_delivery.pop(self._next_deliver_seq, None)
+            self._next_deliver_seq += 1
+            if entry is not None:
+                header, arrived_at = entry
+                self._deliver(header, arrived_at)
+
+    def _post_arrival_duties(self):
+        """Ack decisions + window movement after arrivals advance rta."""
+        yield from self.pump()
+        threshold = max(1, self.window.depth // 4)
+        if (self.window.unacked_arrivals() >= threshold
+                and not self.pending_send
+                and self.state is ChannelState.READY):
+            yield from self.send_control(MessageKind.ACK)
+
+    def _apply_peer_ack(self, ack: int) -> None:
+        newly = self.window.on_ack(ack)
+        if newly == 0:
+            return
+        for seq in range(ack - newly, ack):
+            msg = self.sent.pop(seq, None)
+            if msg is None:
+                continue
+            if getattr(msg, "owns_buffer", False):
+                self.ctx.memcache.free(msg.src_buffer)
+                msg.owns_buffer = False
+            if msg.acked is not None and not msg.acked.triggered:
+                msg.acked.succeed(self.ctx.sim.now - msg.created_at)
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.on_message_acked(self, msg)
+
+    def _start_rendezvous(self, header: XrdmaHeader):
+        """Receiver-side on-demand buffer + fragmented RDMA Read."""
+        buffer = yield from self.ctx.memcache.alloc(header.payload_size)
+        sizes = self.flow.fragment_sizes(header.payload_size)
+        rendezvous = _Rendezvous(
+            seq=header.seq, header=header, buffer=buffer,
+            fragments_left=len(sizes), started_at=self.ctx.sim.now)
+        self._rendezvous[header.seq] = rendezvous
+        self.stats["rendezvous_reads"] += len(sizes)
+        offset = 0
+        for index, size in enumerate(sizes):
+            wr = WorkRequest(
+                opcode=Opcode.READ, length=size,
+                remote_addr=header.src_addr + offset,
+                rkey=header.src_rkey)
+            self.ctx.route_wr(wr, self, _WrRoute(
+                tag="read", seq=header.seq,
+                last_fragment=(index == len(sizes) - 1), header=header))
+            offset += size
+            yield from self.flow.post(wr)
+
+    def _finish_rendezvous(self, seq: int):
+        rendezvous = self._rendezvous.pop(seq, None)
+        if rendezvous is None:
+            return
+        self.window.on_complete(seq)
+        self._pending_delivery[seq] = (rendezvous.header,
+                                       rendezvous.started_at)
+        self._flush_deliveries()
+        if rendezvous.buffer is not None:
+            self.ctx.memcache.free(rendezvous.buffer)
+        yield from self._post_arrival_duties()
+
+    def _deliver(self, header: XrdmaHeader, arrived_at: int) -> None:
+        self.stats["rx_msgs"] += 1
+        self.stats["rx_bytes"] += header.payload_size
+        msg = XrdmaMessage(
+            kind=header.kind, payload_size=header.payload_size,
+            payload=header.user_payload, channel=self, header=header,
+            request_msg_id=header.request_msg_id)
+        msg.created_at = arrived_at
+        msg.delivered_at = self.ctx.sim.now
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.on_message_delivered(self, msg)
+        if header.kind is MessageKind.RESPONSE:
+            request = self.pending_requests.pop(header.request_msg_id, None)
+            if request is not None:
+                if request.response is not None and not request.response.triggered:
+                    request.response.succeed(msg)
+                return
+        if header.kind is MessageKind.REQUEST and self.on_request is not None:
+            self.on_request(msg)
+            return
+        self.ctx.deliver(msg)
+
+    # -------------------------------------------------------- cqe dispatch
+    def on_send_completion(self, completion: Completion, route: _WrRoute):
+        """Generator: route one send-side CQE."""
+        if not completion.ok:
+            self.mark_broken(f"send CQE error: {completion.status.name}")
+            return
+        if route.tag == "keepalive":
+            self.keepalive_in_flight = False
+            return
+        if route.tag == "ctrl":
+            return
+        # Data WRs participate in flow control.
+        yield from self.flow.on_completion()
+        if route.tag == "read" and route.last_fragment:
+            yield from self._finish_rendezvous(route.seq)
+
+    # -------------------------------------------------------------- failure
+    def mark_broken(self, reason: str) -> None:
+        """Release everything; fail waiters (keepAlive's whole purpose)."""
+        if self.state is not ChannelState.READY:
+            return
+        self.state = ChannelState.BROKEN
+        error = ChannelBroken(
+            f"channel {self.channel_id} to host {self.remote_host}: {reason}")
+        for msg in list(self.sent.values()) + list(self.pending_send):
+            if getattr(msg, "owns_buffer", False):
+                self.ctx.memcache.free(msg.src_buffer)
+                msg.owns_buffer = False
+            if msg.acked is not None and not msg.acked.triggered:
+                msg.acked.fail(error)
+        for msg in self.pending_requests.values():
+            if msg.response is not None and not msg.response.triggered:
+                msg.response.fail(error)
+        self.sent.clear()
+        self.pending_send.clear()
+        self.pending_requests.clear()
+        for rendezvous in self._rendezvous.values():
+            if rendezvous.buffer is not None:
+                self.ctx.memcache.free(rendezvous.buffer)
+        self._rendezvous.clear()
+        self._pending_delivery.clear()
+        self.flow.drop_all()
+        while self._recv_buffers:
+            self.ctx.memcache.free(self._recv_buffers.popleft())
+        self.ctx.on_channel_broken(self)
+        if self.on_broken is not None:
+            self.on_broken(self)
+
+    # ------------------------------------------------------------- liveness
+    def idle_ns(self, now: int) -> int:
+        """Time since the last traffic in either direction (keepAlive)."""
+        return now - max(self.last_rx_ns, self.last_tx_ns)
+
+    def needs_nop(self) -> bool:
+        """Deadlock check: queued traffic, closed window, unsent acks."""
+        return (bool(self.pending_send) and self.window.stalled()
+                and self.window.unacked_arrivals() > 0)

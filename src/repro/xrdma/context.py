@@ -1,0 +1,450 @@
+"""The X-RDMA context: one per thread, run-to-complete (Sec. IV-B).
+
+The context owns every per-thread resource — PD, CQs, memory cache, QP
+cache, timers, channels — so the data path needs no locks or atomics.  One
+simulation process (:meth:`XrdmaContext._run`) drives everything:
+
+* drains both CQs and routes completions to channels,
+* pumps channel send queues as window/flow-control slots open,
+* runs the timer duties (keepAlive probes, deadlock NOPs, memory-cache
+  shrink, monitor sampling),
+* models **hybrid polling**: while traffic is flowing the loop busy-polls
+  (low latency); after an idle period it parks on events and pays the
+  epoll wakeup cost on the next message.
+
+The Table-I API surface lives here: ``send_msg``, ``polling``,
+``get_event_fd``, ``process_event``, ``reg_mem``/``dereg_mem``,
+``set_flag`` and ``trace_request``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.memory.host import AllocMode
+from repro.rnic.qp import QpState
+from repro.rnic.wqe import Completion, Opcode, WorkRequest
+from repro.sim.resources import Store
+from repro.sim.timeunits import MILLIS, SECONDS
+from repro.xrdma.channel import ChannelState, XrdmaChannel, _WrRoute
+from repro.xrdma.config import XrdmaConfig
+from repro.xrdma.flowctl import WrBudget
+from repro.xrdma.memcache import MemCache
+from repro.xrdma.message import MessageKind, XrdmaMessage
+from repro.xrdma.qpcache import QpCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rnic.nic import Rnic
+    from repro.sim.engine import Simulator
+    from repro.verbs.api import VerbsContext
+    from repro.verbs.cm import CmAgent
+
+_ctx_ids = itertools.count(1)
+
+#: Idle time after which the loop leaves busy-polling for event mode.
+_BUSY_POLL_WINDOW_NS = 100_000
+#: Memory-cache shrink cadence.
+_SHRINK_INTV_NS = 1 * SECONDS
+
+_ALLOC_MODES = {
+    "anonymous": AllocMode.ANONYMOUS,
+    "contiguous": AllocMode.CONTIGUOUS,
+    "hugepage": AllocMode.HUGEPAGE,
+}
+
+
+class XrdmaContext:
+    """Per-thread engine and the public X-RDMA API."""
+
+    def __init__(self, sim: "Simulator", verbs: "VerbsContext",
+                 cm: "CmAgent", config: Optional[XrdmaConfig] = None,
+                 name: str = ""):
+        self.sim = sim
+        self.verbs = verbs
+        self.cm = cm
+        self.nic = verbs.nic
+        self.params = verbs.params
+        self.config = config or XrdmaConfig()
+        self.ctx_id = next(_ctx_ids)
+        self.name = name or f"xrdma{self.ctx_id}"
+
+        self.pd = verbs.alloc_pd()
+        self.send_cq = verbs.create_cq(self.config.cq_size)
+        self.recv_cq = verbs.create_cq(self.config.cq_size)
+        self.srq = (verbs.create_srq(self.config.srq_size)
+                    if self.config.use_srq else None)
+        self.memcache = MemCache(
+            verbs, self.pd, mr_bytes=self.config.memcache_mr_bytes,
+            alloc_mode=_ALLOC_MODES[self.config.ibqp_alloc_type],
+            isolated=self.config.memcache_isolated)
+        self.qpcache = QpCache(verbs, self.pd, self.send_cq, self.recv_cq)
+        self.wr_budget = WrBudget(self.config.context_outstanding_wrs)
+
+        self.channels: Dict[int, XrdmaChannel] = {}          # by qpn
+        self._wr_routes: Dict[int, Tuple[XrdmaChannel, _WrRoute]] = {}
+        self._recv_buffers: Dict[int, Tuple[XrdmaChannel, Any]] = {}
+        self.incoming: Store = Store(sim, name=f"{self.name}:incoming")
+        self.accepted: Store = Store(sim, name=f"{self.name}:accepted")
+        self._kicked: deque = deque()
+        self._kicked_set: set = set()
+        self._wake = None
+        self._stopped = False
+        self._started = False
+        self._injected_stall_ns = 0
+        self.tracer = None          #: analysis hook (repro.analysis.Tracer)
+        self.monitor = None         #: analysis hook (repro.analysis.Monitor)
+        self.filter = None          #: fault injection (repro.analysis.Filter)
+        self.poll_gaps: List[int] = []       #: gaps over the warn threshold
+        self._last_round_ns = sim.now
+        self._idle_since: Optional[int] = None
+        self.broken_channels = 0
+
+    # ============================================================ lifecycle
+    def start(self) -> None:
+        """Spawn the run-to-complete loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.spawn(self._run(), name=f"{self.name}:loop")
+
+    def stop(self) -> None:
+        """Shut the run-to-complete loop down at its next iteration."""
+        self._stopped = True
+        self.kick()
+
+    # ====================================================== connection mgmt
+    def connect(self, remote_host: int, service_port: int,
+                timeout_ns: int = 2 * SECONDS):
+        """Generator: establish a channel (QP cache fast path when warm)."""
+        self.start()
+        recycled = self.qpcache.get()
+        conn = yield from self.cm.connect(
+            remote_host, service_port, self.pd, self.send_cq, self.recv_cq,
+            qp=recycled, srq=self.srq,
+            private_data={"window": self.config.inflight_depth},
+            timeout_ns=timeout_ns)
+        peer_window = (conn.private_data or {}).get(
+            "window", self.config.inflight_depth)
+        channel = XrdmaChannel(
+            self, conn, min(self.config.inflight_depth, peer_window))
+        yield from self._prime_channel(channel)
+        self.channels[conn.qp.qpn] = channel
+        return channel
+
+    def listen(self, service_port: int) -> Store:
+        """Accept channels on ``service_port``; they appear in the returned
+        Store (which is also ``self.accepted``)."""
+        self.start()
+        listener = self.cm.listen(
+            service_port, self.pd, self.send_cq, self.recv_cq, srq=self.srq,
+            qp_provider=self.qpcache.get,
+            private_data={"window": self.config.inflight_depth})
+        self.sim.spawn(self._accept_loop(listener),
+                       name=f"{self.name}:accept{service_port}")
+        return self.accepted
+
+    def _accept_loop(self, listener):
+        while not self._stopped:
+            conn = yield listener.accepted.get()
+            peer_window = (conn.private_data or {}).get(
+                "window", self.config.inflight_depth)
+            channel = XrdmaChannel(
+                self, conn, min(self.config.inflight_depth, peer_window))
+            yield from self._prime_channel(channel)
+            self.channels[conn.qp.qpn] = channel
+            self.accepted.put_nowait(channel)
+
+    def _prime_channel(self, channel: XrdmaChannel):
+        """Pre-post window-depth receive buffers (the RNR-free invariant).
+
+        With an SRQ, buffers are shared and capped at the SRQ depth — this
+        is precisely how SRQ re-introduces the RNR risk (Sec. VII-F).
+        """
+        recv_bytes = self.config.small_msg_size + 64
+        count = channel.window.depth + self.config.prepost_slack
+        if self.srq is not None:
+            count = min(count, self.srq.depth - len(self.srq))
+        for _ in range(count):
+            buffer = yield from self.memcache.alloc(recv_bytes)
+            channel._recv_buffers.append(buffer)
+            yield from self._post_recv(channel, buffer)
+
+    def _post_recv(self, channel: XrdmaChannel, buffer):
+        wr = WorkRequest(opcode=Opcode.RECV, length=buffer.size,
+                         local_addr=buffer.addr)
+        if self.srq is not None:
+            if len(self.srq) >= self.srq.depth:
+                return  # shared pool full; the buffer stays with the channel
+            self._recv_buffers[wr.wr_id] = (channel, buffer)
+            yield self.verbs.post_srq_recv(self.srq, wr)
+        else:
+            self._recv_buffers[wr.wr_id] = (channel, buffer)
+            yield self.verbs.post_recv(channel.qp, wr)
+
+    def close_channel(self, channel: XrdmaChannel, notify: bool = True):
+        """Generator: orderly shutdown — the QP goes back to the cache."""
+        if channel.state is not ChannelState.READY:
+            return
+        if notify:
+            yield from channel.send_control(MessageKind.CLOSE)
+            # Drain the QP before resetting it, or the CLOSE never leaves.
+            qp = channel.qp
+            while qp.sq or qp.outstanding or qp.current_tx is not None:
+                yield self.sim.timeout(10_000)
+        channel.state = ChannelState.CLOSED
+        self.channels.pop(channel.qp.qpn, None)
+        while channel._recv_buffers:
+            self.memcache.free(channel._recv_buffers.popleft())
+        if channel.qp.state is not QpState.ERROR:
+            yield from self.qpcache.put(channel.qp)
+        else:
+            yield self.verbs.destroy_qp(channel.qp)
+
+    def on_channel_broken(self, channel: XrdmaChannel) -> None:
+        """Channel-side callback: release the context's references."""
+        self.broken_channels += 1
+        self.channels.pop(channel.qp.qpn, None)
+        # An errored QP cannot be recycled; destroy it asynchronously.
+        self.sim.spawn(self._destroy_qp(channel.qp),
+                       name=f"{self.name}:destroy")
+
+    def _destroy_qp(self, qp):
+        yield self.verbs.destroy_qp(qp)
+
+    # ============================================================= Table I
+    def send_msg(self, channel: XrdmaChannel, payload_size: int,
+                 kind: MessageKind = MessageKind.ONEWAY,
+                 payload: Any = None) -> XrdmaMessage:
+        """xrdma_send_msg: queue a message; completion via its events."""
+        msg = XrdmaMessage(kind=kind, payload_size=payload_size,
+                           payload=payload)
+        channel.queue_message(msg)
+        self._kick_channel(channel)
+        return msg
+
+    def send_request(self, channel: XrdmaChannel, payload_size: int,
+                     payload: Any = None) -> XrdmaMessage:
+        """Built-in RPC: returns a message whose ``response`` event fires."""
+        return self.send_msg(channel, payload_size,
+                             kind=MessageKind.REQUEST, payload=payload)
+
+    def send_response(self, request: XrdmaMessage, payload_size: int,
+                      payload: Any = None) -> XrdmaMessage:
+        """Reply to a delivered REQUEST (Read-replaces-Write when large)."""
+        if not request.is_request or request.channel is None:
+            raise ValueError("send_response needs a delivered REQUEST")
+        msg = XrdmaMessage(kind=MessageKind.RESPONSE,
+                           payload_size=payload_size, payload=payload,
+                           request_msg_id=request.header.msg_id)
+        request.channel.queue_message(msg)
+        self._kick_channel(request.channel)
+        return msg
+
+    def polling(self, max_messages: int = 16) -> List[XrdmaMessage]:
+        """xrdma_polling: drain up to ``max_messages`` delivered messages."""
+        out: List[XrdmaMessage] = []
+        while self.incoming.items and len(out) < max_messages:
+            out.append(self.incoming.get_nowait())
+        return out
+
+    def get_event_fd(self) -> Store:
+        """xrdma_get_event_fd: a waitable handle (yield ``fd.get()``)."""
+        return self.incoming
+
+    def process_event(self, max_messages: int = 16) -> List[XrdmaMessage]:
+        """xrdma_process_event: handle events after an fd wakeup."""
+        return self.polling(max_messages)
+
+    def reg_mem(self, size: int):
+        """xrdma_reg_mem (generator): RDMA-enabled buffer from the cache."""
+        buffer = yield from self.memcache.alloc(size)
+        return buffer
+
+    def dereg_mem(self, buffer) -> None:
+        """xrdma_dereg_mem: return a buffer to the cache."""
+        self.memcache.free(buffer)
+
+    def set_flag(self, name: str, value: Any) -> None:
+        """xrdma_set_flag: dynamic (online) configuration change."""
+        self.config.set_flag(name, value, running=self._started)
+        if name == "flow_control":
+            for channel in self.channels.values():
+                channel.flow.enabled = bool(value)
+        self.kick()  # wake the loop so new intervals take effect promptly
+
+    def trace_request(self, msg: XrdmaMessage):
+        """xrdma_trace_request: tracing record for a message (req-rsp mode)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.trace_request(msg)
+
+    def local_time(self) -> int:
+        """This host's wall clock (skewed unless clock-synced; Sec. VI-A)."""
+        if self.tracer is not None:
+            return self.tracer.clock.read(self.sim.now)
+        return self.sim.now
+
+    # ============================================================== engine
+    def kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    def _kick_channel(self, channel: XrdmaChannel) -> None:
+        if channel.channel_id not in self._kicked_set:
+            self._kicked.append(channel)
+            self._kicked_set.add(channel.channel_id)
+        self.kick()
+
+    def inject_stall(self, duration_ns: int) -> None:
+        """Testing/case-study hook: make the loop stall (allocator lock,
+        Sec. VII-D) so the poll-gap watchdog has something to catch."""
+        self._injected_stall_ns += duration_ns
+        self.kick()
+
+    def _run(self):
+        config = self.config
+        last_keepalive = self.sim.now
+        last_deadlock = self.sim.now
+        last_shrink = self.sim.now
+        while not self._stopped:
+            if self._injected_stall_ns:
+                stall, self._injected_stall_ns = self._injected_stall_ns, 0
+                yield self.sim.timeout(stall)
+
+            round_start = self.sim.now
+            gap = round_start - self._last_round_ns
+            if gap > config.polling_warn_cycle_ns:
+                self.poll_gaps.append(gap)
+                if self.tracer is not None:
+                    self.tracer.on_slow_poll(self, gap)
+
+            worked = False
+            # ---- receive completions
+            for completion in self.verbs.poll_cq(self.recv_cq, 64):
+                worked = True
+                yield from self._handle_recv_completion(completion)
+            # ---- send completions
+            for completion in self.verbs.poll_cq(self.send_cq, 64):
+                worked = True
+                yield from self._handle_send_completion(completion)
+            # ---- queued application sends
+            while self._kicked:
+                channel = self._kicked.popleft()
+                self._kicked_set.discard(channel.channel_id)
+                if channel.state is ChannelState.READY:
+                    worked = True
+                    yield from channel.pump()
+            # ---- timers (intervals re-read so set_flag applies live)
+            now = self.sim.now
+            if now - last_keepalive >= config.keepalive_intv_ns:
+                last_keepalive = now
+                yield from self._keepalive_round(now)
+            if now - last_deadlock >= config.deadlock_check_intv_ns:
+                last_deadlock = now
+                yield from self._deadlock_round()
+            if now - last_shrink >= _SHRINK_INTV_NS:
+                last_shrink = now
+                self.memcache.shrink()
+            if self.monitor is not None:
+                self.monitor.maybe_sample(self)
+
+            self._last_round_ns = self.sim.now
+            if worked:
+                self._idle_since = None
+                yield self.sim.timeout(self.params.host_poll_overhead_ns)
+                continue
+
+            # ---- idle: hybrid polling parks on events
+            if self._idle_since is None:
+                self._idle_since = self.sim.now
+            self._wake = self.sim.event(f"{self.name}:wake")
+            self.recv_cq.request_notify(self.kick)
+            self.send_cq.request_notify(self.kick)
+            deadline = min(last_keepalive + config.keepalive_intv_ns,
+                           last_deadlock + config.deadlock_check_intv_ns,
+                           last_shrink + _SHRINK_INTV_NS)
+            timer = self.sim.timeout(max(deadline - self.sim.now, 1_000))
+            yield self.sim.any_of([self._wake, timer])
+            woke_after = self.sim.now - self._idle_since
+            self._wake = None
+            mode = config.idle_poll_mode
+            if mode == "event" or (mode == "hybrid"
+                                   and woke_after > _BUSY_POLL_WINDOW_NS):
+                # Not busy-polling (anymore); pay the epoll wakeup.
+                yield self.sim.timeout(self.params.host_wakeup_ns)
+
+    def _handle_recv_completion(self, completion: Completion):
+        entry = self._recv_buffers.pop(completion.wr_id, None)
+        channel = self.channels.get(completion.qp_num)
+        if channel is None and entry is not None:
+            channel = entry[0]
+        if channel is None:
+            return
+        if not completion.ok:
+            if entry is not None:
+                # Buffer bookkeeping stays with the (now broken) channel.
+                pass
+            channel.mark_broken(f"recv CQE error: {completion.status.name}")
+            return
+        if entry is not None and channel.state is ChannelState.READY:
+            _, buffer = entry
+            yield from self._post_recv(channel, buffer)
+        if self.filter is not None and self.filter.should_drop(channel,
+                                                               completion):
+            return
+        if self.filter is not None:
+            delay = self.filter.delay_for(channel, completion)
+            if delay:
+                yield self.sim.timeout(delay)
+        yield from channel.on_receive(completion)
+
+    def _handle_send_completion(self, completion: Completion):
+        routed = self._wr_routes.pop(completion.wr_id, None)
+        if routed is None:
+            return
+        channel, route = routed
+        yield from channel.on_send_completion(completion, route)
+
+    def _keepalive_round(self, now: int):
+        for channel in list(self.channels.values()):
+            if channel.state is not ChannelState.READY:
+                continue
+            if channel.idle_ns(now) >= self.config.keepalive_intv_ns:
+                yield from channel.keepalive_probe()
+
+    def _deadlock_round(self):
+        for channel in list(self.channels.values()):
+            if channel.state is not ChannelState.READY:
+                continue
+            if channel.needs_nop():
+                yield from channel.send_control(MessageKind.NOP)
+            elif channel.window.unacked_arrivals() > 0 \
+                    and not channel.pending_send:
+                # Delayed-ack flush: consumed messages whose ack found no
+                # reverse traffic to piggyback on.
+                yield from channel.send_control(MessageKind.ACK)
+
+    # ------------------------------------------------------------- plumbing
+    def route_wr(self, wr: WorkRequest, channel: XrdmaChannel,
+                 route: _WrRoute) -> None:
+        self._wr_routes[wr.wr_id] = (channel, route)
+
+    def deliver(self, msg: XrdmaMessage) -> None:
+        self.incoming.put_nowait(msg)
+
+    # ------------------------------------------------------------ inspection
+    def stat_snapshot(self) -> Dict[str, Any]:
+        """XR-Stat's per-context raw numbers."""
+        return {
+            "channels": len(self.channels),
+            "broken_channels": self.broken_channels,
+            "mem_occupied": self.memcache.occupied_bytes,
+            "mem_in_use": self.memcache.in_use_bytes,
+            "mr_count": self.memcache.mr_count,
+            "qp_cache_size": len(self.qpcache),
+            "qp_cache_hits": self.qpcache.hits,
+            "incoming_backlog": len(self.incoming.items),
+            "slow_polls": len(self.poll_gaps),
+        }

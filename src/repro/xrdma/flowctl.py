@@ -1,0 +1,151 @@
+"""Built-in flow control (Sec. V-C): fragmentation + queuing.
+
+DCQCN is reactive — by the time CNPs arrive, the incast burst has already
+filled switch queues.  X-RDMA bounds the burst at the source:
+
+* **Fragmentation** — a payload transfer larger than ``fragment_bytes``
+  becomes several moderate WRs, so one huge WQE cannot occupy the NIC
+  engine or dump megabytes into the fabric in one go.
+* **Queuing** — at most ``max_outstanding_wrs`` data WRs per channel are in
+  the SQ at once; the rest wait in a software queue.
+
+Both act purely above verbs, exactly as the paper requires ("without
+specific hardware or software constraints").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.rnic.wqe import WorkRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rnic.qp import QueuePair
+    from repro.verbs.api import VerbsContext
+
+
+class WrBudget:
+    """Context-global cap on outstanding data WRs (the Sec. V-C queue).
+
+    The per-channel cap alone cannot stop a node with thousands of
+    connections from over-requesting its own inbound link; the shared
+    budget serializes aggregate demand so the switch queue never builds —
+    this is what drives CNPs to the paper's 1–2% residue (Fig. 10).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"budget capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque["FlowController"] = deque()
+
+    @property
+    def available(self) -> bool:
+        return self.in_use < self.capacity
+
+    def enqueue_waiter(self, controller: "FlowController") -> None:
+        if controller not in self._waiters:
+            self._waiters.append(controller)
+
+    def drain(self):
+        """Generator: grant freed slots to waiting controllers, FIFO."""
+        while self.available and self._waiters:
+            controller = self._waiters.popleft()
+            issued = yield from controller.admit_queued()
+            if controller.queued and issued:
+                self._waiters.append(controller)
+
+
+class FlowController:
+    """Per-channel outstanding-WR governor (plus the shared budget)."""
+
+    def __init__(self, verbs: "VerbsContext", qp: "QueuePair",
+                 max_outstanding: int, fragment_bytes: int,
+                 enabled: bool = True,
+                 budget: Optional[WrBudget] = None):
+        self.verbs = verbs
+        self.qp = qp
+        self.max_outstanding = max_outstanding
+        self.fragment_bytes = fragment_bytes
+        self.enabled = enabled
+        self.budget = budget
+        self.outstanding = 0
+        self._queue: Deque[WorkRequest] = deque()
+        self.queued_total = 0
+        self.fragments_total = 0
+
+    # ---------------------------------------------------------------- sizing
+    def fragment_sizes(self, length: int) -> List[int]:
+        """How a payload of ``length`` splits into WRs under current policy."""
+        if not self.enabled or length <= self.fragment_bytes:
+            return [length]
+        sizes = []
+        remaining = length
+        while remaining > 0:
+            step = min(self.fragment_bytes, remaining)
+            sizes.append(step)
+            remaining -= step
+        return sizes
+
+    # --------------------------------------------------------------- posting
+    def _may_issue(self) -> bool:
+        if not self.enabled:
+            return True
+        if self.outstanding >= self.max_outstanding:
+            return False
+        return self.budget is None or self.budget.available
+
+    def post(self, wr: WorkRequest):
+        """Generator: post ``wr`` now, or queue it if a cap is reached."""
+        if not self._may_issue():
+            self._queue.append(wr)
+            self.queued_total += 1
+            if self.enabled and self.budget is not None:
+                self.budget.enqueue_waiter(self)
+            return
+        yield from self._issue(wr)
+
+    def _issue(self, wr: WorkRequest):
+        self.outstanding += 1
+        if self.enabled and self.budget is not None:
+            self.budget.in_use += 1
+        yield self.verbs.post_send(self.qp, wr)
+
+    def admit_queued(self):
+        """Generator: issue one queued WR if allowed; returns True if so."""
+        if not self._queue or not self._may_issue():
+            return False
+        yield from self._issue(self._queue.popleft())
+        return True
+
+    def on_completion(self):
+        """Generator: a data WR completed; admit queued work (here first,
+        then any channel waiting on the shared budget)."""
+        self.outstanding = max(0, self.outstanding - 1)
+        if self.enabled and self.budget is not None:
+            self.budget.in_use = max(0, self.budget.in_use - 1)
+        while (yield from self.admit_queued()):
+            pass
+        if self.enabled and self.budget is not None:
+            if self._queue:
+                self.budget.enqueue_waiter(self)
+            yield from self.budget.drain()
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def drop_all(self) -> int:
+        """Channel teardown: abandon queued WRs and release budget slots."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        if self.enabled and self.budget is not None:
+            self.budget.in_use = max(0, self.budget.in_use - self.outstanding)
+            try:
+                self.budget._waiters.remove(self)
+            except ValueError:
+                pass
+        self.outstanding = 0
+        return dropped

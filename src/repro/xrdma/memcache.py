@@ -1,0 +1,213 @@
+"""The RDMA-enabled memory cache (Sec. IV-E).
+
+MR registration costs tens of microseconds, and NIC translation-cache
+pressure grows with MR count (the LITE lesson), so X-RDMA registers few,
+large MRs — 4 MB each by default — and sub-allocates buffers from them.
+Capacity grows by registering another MR and shrinks by reclaiming MRs that
+have fallen completely idle.
+
+``occupied_bytes`` (registered) vs ``in_use_bytes`` (handed out) are the two
+curves of Fig. 11c.
+
+Isolation mode (Sec. VI-C) places the arena at a distinct high address range
+and tags buffers, so out-of-bound access bugs are detectable in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.memory.host import AllocMode, HostMemory
+from repro.rnic.mr import AccessFlags, MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rnic.mr import ProtectionDomain
+    from repro.verbs.api import VerbsContext
+
+#: Isolated arenas start here — far above normal allocations, near the
+#: stack, so stray pointers into the heap never alias cached buffers.
+_ISOLATED_BASE = 0x7F00_0000_0000
+
+_buffer_ids = itertools.count(1)
+
+
+@dataclass
+class RdmaBuffer:
+    """A sub-allocation of a cached MR, ready for RDMA."""
+
+    addr: int
+    size: int
+    mr: MemoryRegion
+    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+
+    @property
+    def rkey(self) -> int:
+        return self.mr.rkey
+
+
+class _Arena:
+    """One registered MR plus a simple first-fit free list."""
+
+    def __init__(self, mr: MemoryRegion):
+        self.mr = mr
+        self.free: List[Tuple[int, int]] = [(mr.addr, mr.length)]
+        self.used_bytes = 0
+
+    def alloc(self, size: int) -> Optional[int]:
+        for index, (addr, length) in enumerate(self.free):
+            if length >= size:
+                if length == size:
+                    del self.free[index]
+                else:
+                    self.free[index] = (addr + size, length - size)
+                self.used_bytes += size
+                return addr
+        return None
+
+    def release(self, addr: int, size: int) -> None:
+        self.used_bytes -= size
+        self.free.append((addr, size))
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        self.free.sort()
+        merged: List[Tuple[int, int]] = []
+        for addr, length in self.free:
+            if merged and merged[-1][0] + merged[-1][1] == addr:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((addr, length))
+        self.free = merged
+
+    @property
+    def idle(self) -> bool:
+        return self.used_bytes == 0
+
+
+class MemCacheError(RuntimeError):
+    """Allocation larger than an arena, or double free."""
+
+
+class MemCache:
+    """Per-context pool of RDMA-enabled memory."""
+
+    def __init__(self, verbs: "VerbsContext", pd: "ProtectionDomain",
+                 mr_bytes: int = 4 * 1024 * 1024,
+                 alloc_mode: AllocMode = AllocMode.ANONYMOUS,
+                 isolated: bool = False):
+        self.verbs = verbs
+        self.pd = pd
+        self.mr_bytes = mr_bytes
+        self.alloc_mode = alloc_mode
+        self.isolated = isolated
+        self._arenas: List[_Arena] = []
+        self._live: Dict[int, Tuple[_Arena, RdmaBuffer]] = {}
+        self._isolated_cursor = _ISOLATED_BASE
+        self.grow_count = 0
+        self.shrink_count = 0
+        self.out_of_bound_hits = 0
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def occupied_bytes(self) -> int:
+        """Registered (reserved) capacity — the "Occupy" curve of Fig. 11c."""
+        return len(self._arenas) * self.mr_bytes
+
+    @property
+    def in_use_bytes(self) -> int:
+        """Handed-out bytes — the "In-use" curve of Fig. 11c."""
+        return sum(arena.used_bytes for arena in self._arenas)
+
+    @property
+    def mr_count(self) -> int:
+        return len(self._arenas)
+
+    # ------------------------------------------------------------ allocation
+    def alloc(self, size: int):
+        """Generator: allocate ``size`` bytes, registering a new MR if needed.
+
+        ``yield from`` it inside a sim process; returns an
+        :class:`RdmaBuffer`.
+        """
+        if size > self.mr_bytes:
+            raise MemCacheError(
+                f"allocation {size} exceeds the arena size {self.mr_bytes}; "
+                "register dedicated memory instead")
+        for arena in self._arenas:
+            addr = arena.alloc(size)
+            if addr is not None:
+                return self._make_buffer(arena, addr, size)
+        arena = yield from self._grow()
+        addr = arena.alloc(size)
+        if addr is None:  # pragma: no cover - fresh arena must fit
+            raise MemCacheError("fresh arena failed to satisfy allocation")
+        return self._make_buffer(arena, addr, size)
+
+    def try_alloc(self, size: int) -> Optional[RdmaBuffer]:
+        """Non-blocking: allocate from existing arenas only."""
+        if size > self.mr_bytes:
+            raise MemCacheError(
+                f"allocation {size} exceeds the arena size {self.mr_bytes}")
+        for arena in self._arenas:
+            addr = arena.alloc(size)
+            if addr is not None:
+                return self._make_buffer(arena, addr, size)
+        return None
+
+    def free(self, buffer: RdmaBuffer) -> None:
+        entry = self._live.pop(buffer.buffer_id, None)
+        if entry is None:
+            raise MemCacheError(
+                f"double free or foreign buffer id={buffer.buffer_id}")
+        arena, _ = entry
+        arena.release(buffer.addr, buffer.size)
+
+    def check_access(self, addr: int, size: int) -> bool:
+        """Isolation-mode bounds check; counts violations (Sec. VI-C)."""
+        for arena in self._arenas:
+            if arena.mr.contains(addr, size):
+                return True
+        self.out_of_bound_hits += 1
+        return False
+
+    # ------------------------------------------------------------- lifecycle
+    def shrink(self) -> int:
+        """Deregister fully idle arenas (keeping one warm); returns count."""
+        reclaimable = [a for a in self._arenas if a.idle]
+        keep_one = 1 if len(reclaimable) == len(self._arenas) else 0
+        victims = reclaimable[keep_one:] if keep_one else reclaimable
+        for arena in victims:
+            self._arenas.remove(arena)
+            self.verbs.nic.mr_table.remove(arena.mr)
+            self.pd.deregister(arena.mr)
+            self.shrink_count += 1
+        return len(victims)
+
+    def prewarm(self, arenas: int):
+        """Generator: register ``arenas`` MRs up front."""
+        for _ in range(arenas):
+            yield from self._grow()
+
+    # -------------------------------------------------------------- internal
+    def _grow(self):
+        if self.isolated:
+            base = self._isolated_cursor
+            self._isolated_cursor += self.mr_bytes * 2  # guard gap between MRs
+            addr = base
+        else:
+            allocation = self.verbs.memory.alloc(self.mr_bytes,
+                                                 self.alloc_mode)
+            addr = allocation.addr
+        mr = yield self.verbs.reg_mr(self.pd, addr, self.mr_bytes,
+                                     AccessFlags.all_remote())
+        arena = _Arena(mr)
+        self._arenas.append(arena)
+        self.grow_count += 1
+        return arena
+
+    def _make_buffer(self, arena: _Arena, addr: int, size: int) -> RdmaBuffer:
+        buffer = RdmaBuffer(addr=addr, size=size, mr=arena.mr)
+        self._live[buffer.buffer_id] = (arena, buffer)
+        return buffer

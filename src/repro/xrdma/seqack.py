@@ -1,0 +1,118 @@
+"""The application-layer seq-ack window (Sec. V-B, Algorithm 1).
+
+Both sides of a channel run one of these.  Sender side: ``seq`` counts
+transmitted messages, ``acked`` the ones the *peer application* has
+consumed; at most ``depth - 1`` may be in flight (the last ring slot is
+reserved for the NOP deadlock breaker).  Receiver side: ``wta`` ("wait to
+ack") counts arrivals, ``rta`` ("ready to ack") the prefix fully received —
+a large message only becomes ready once its RDMA Read completed, so acks
+track application-visible progress, not hardware delivery.
+
+Because a sender never exceeds the window and the receiver pre-posts at
+least ``depth`` receive buffers, a SEND can never meet an empty RQ:
+**RNR-free by construction** (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class WindowFull(RuntimeError):
+    """No in-flight slot available (callers should queue, not drop)."""
+
+
+class SeqAckWindow:
+    """Ring-buffer window over message sequence numbers."""
+
+    def __init__(self, depth: int):
+        if depth < 2:
+            raise ValueError("window depth must be >= 2 (NOP slot reserved)")
+        self.depth = depth
+        # Sender state.
+        self.seq = 0           #: next sequence number to assign
+        self.acked = 0         #: all < acked are consumed by the peer app
+        # Receiver state.
+        self.wta = 0           #: arrivals seen (right edge)
+        self.rta = 0           #: contiguous prefix fully received
+        self.sent_ack = 0      #: highest rta we have told the peer about
+        self._pending_rx: Dict[int, bool] = {}   #: seq -> fully-received?
+
+    # ------------------------------------------------------------ sender ops
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet consumed by the peer application."""
+        return self.seq - self.acked
+
+    def can_send(self) -> bool:
+        """One slot is always held back for NOP (deadlock breaking)."""
+        return self.in_flight < self.depth - 1
+
+    def can_send_nop(self) -> bool:
+        """Whether the reserved NOP slot itself is still free."""
+        return self.in_flight < self.depth
+
+    def next_seq(self, nop: bool = False) -> int:
+        """Claim the next sequence number (raises WindowFull when closed)."""
+        if not (self.can_send_nop() if nop else self.can_send()):
+            raise WindowFull(
+                f"in_flight={self.in_flight} depth={self.depth}")
+        seq = self.seq
+        self.seq += 1
+        return seq
+
+    def on_ack(self, ack: int) -> int:
+        """Peer acknowledged everything below ``ack``; returns #newly acked."""
+        if ack <= self.acked:
+            return 0
+        if ack > self.seq:
+            raise ValueError(f"ack {ack} beyond seq {self.seq}")
+        newly = ack - self.acked
+        self.acked = ack
+        return newly
+
+    # ---------------------------------------------------------- receiver ops
+    def on_arrival(self, seq: int, complete: bool) -> None:
+        """A message header arrived (``complete``: payload already whole).
+
+        Large messages arrive incomplete; :meth:`on_complete` follows when
+        the rendezvous read finishes.
+        """
+        if seq < self.rta or seq in self._pending_rx:
+            return  # duplicate delivery (middleware-level retransmit)
+        self._pending_rx[seq] = complete
+        if seq >= self.wta:
+            self.wta = seq + 1
+        self._advance_rta()
+
+    def on_complete(self, seq: int) -> None:
+        """The payload for ``seq`` is now fully received/processed."""
+        if seq < self.rta:
+            return
+        if seq not in self._pending_rx:
+            raise ValueError(f"completion for unknown seq {seq}")
+        self._pending_rx[seq] = True
+        self._advance_rta()
+
+    def _advance_rta(self) -> None:
+        while self._pending_rx.get(self.rta, False):
+            del self._pending_rx[self.rta]
+            self.rta += 1
+
+    # -------------------------------------------------------------- ack duty
+    def ack_to_send(self) -> int:
+        """Current cumulative ack to piggyback on the next transmission."""
+        return self.rta
+
+    def note_ack_sent(self) -> None:
+        """Record that the current rta has been transmitted to the peer."""
+        self.sent_ack = self.rta
+
+    def unacked_arrivals(self) -> int:
+        """Messages consumed locally but not yet acked to the peer."""
+        return self.rta - self.sent_ack
+
+    # ------------------------------------------------------------- deadlock
+    def stalled(self) -> bool:
+        """True when we cannot send a normal message (window closed)."""
+        return not self.can_send()

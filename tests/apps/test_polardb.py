@@ -1,0 +1,91 @@
+"""PolarDB's two back-end modes (Sec. II-C)."""
+
+from statistics import mean
+
+import pytest
+
+from repro.apps import PanguDeployment, PolarDbFrontend, PolarStoreNode
+from repro.cluster import build_cluster
+from repro.sim import MILLIS, SECONDS
+from repro.workloads.traces import diurnal_profile
+from tests.conftest import run_process
+
+
+def test_native_mode_replicates_to_two_stores():
+    cluster = build_cluster(4)
+    stores = [PolarStoreNode(cluster, h) for h in (1, 2)]
+    frontend = PolarDbFrontend(cluster, host_id=0, mode="native",
+                               store_hosts=[1, 2])
+
+    def scenario():
+        completed = yield from frontend.run_pages(10)
+        return completed
+
+    assert run_process(cluster, scenario(), limit=30 * SECONDS) == 10
+    assert all(store.pages_written == 10 for store in stores)
+
+
+def test_pangu_mode_goes_through_block_server():
+    cluster = build_cluster(6)
+    deployment = PanguDeployment.build(cluster, block_hosts=[1],
+                                       chunk_hosts=[2, 3, 4], replicas=3)
+    deployment.establish_mesh()
+    frontend = PolarDbFrontend(cluster, host_id=0, mode="pangu",
+                               block_server_host=1)
+
+    def scenario():
+        completed = yield from frontend.run_pages(5)
+        return completed
+
+    assert run_process(cluster, scenario(), limit=30 * SECONDS) == 5
+    # 5 pages × 3 chunk replicas.
+    assert sum(cs.chunks_written for cs in deployment.chunk_servers) == 15
+
+
+def test_native_mode_is_faster_than_pangu_mode():
+    """One hop + 2 replicas beats two hops + 3 replicas."""
+    cluster_a = build_cluster(4)
+    for h in (1, 2):
+        PolarStoreNode(cluster_a, h)
+    native = PolarDbFrontend(cluster_a, host_id=0, mode="native",
+                             store_hosts=[1, 2])
+    run_process(cluster_a, native.run_pages(10), limit=30 * SECONDS)
+    native_latency = mean(lat for _, lat in native.completions)
+
+    cluster_b = build_cluster(6)
+    deployment = PanguDeployment.build(cluster_b, block_hosts=[1],
+                                       chunk_hosts=[2, 3, 4], replicas=3)
+    deployment.establish_mesh()
+    pangu = PolarDbFrontend(cluster_b, host_id=0, mode="pangu",
+                            block_server_host=1)
+    run_process(cluster_b, pangu.run_pages(10), limit=30 * SECONDS)
+    pangu_latency = mean(lat for _, lat in pangu.completions)
+
+    assert native_latency < pangu_latency
+
+
+def test_profile_driven_load():
+    cluster = build_cluster(3)
+    PolarStoreNode(cluster, 1)
+    PolarStoreNode(cluster, 2)
+    frontend = PolarDbFrontend(cluster, host_id=0, mode="native",
+                               store_hosts=[1, 2])
+    profile = diurnal_profile(200 * MILLIS, 100 * MILLIS, low=200, high=2000)
+
+    def scenario():
+        yield from frontend.run_profile(profile, 200 * MILLIS)
+
+    run_process(cluster, scenario(), limit=30 * SECONDS)
+    cluster.sim.run(until=cluster.sim.now + 50 * MILLIS)
+    assert len(frontend.completions) > 20
+    assert frontend.failures == 0
+
+
+def test_mode_validation():
+    cluster = build_cluster(2)
+    with pytest.raises(ValueError, match="unknown PolarDB mode"):
+        PolarDbFrontend(cluster, 0, mode="weird")
+    with pytest.raises(ValueError, match="store_hosts"):
+        PolarDbFrontend(cluster, 0, mode="native")
+    with pytest.raises(ValueError, match="block_server_host"):
+        PolarDbFrontend(cluster, 0, mode="pangu")

@@ -1,0 +1,123 @@
+"""DCT: dynamically connected transport (Sec. IX evaluation)."""
+
+import pytest
+
+from repro.rnic import Opcode, WorkRequest
+from repro.sim import MICROS, MILLIS, SECONDS
+from tests.conftest import build_cluster, run_process
+
+
+@pytest.fixture
+def dc_setup():
+    """One initiator host, three target hosts with DC targets + SRQs."""
+    cluster = build_cluster(4)
+    sender = cluster.host(0)
+    pd = sender.verbs.alloc_pd()
+    send_cq = sender.verbs.create_cq()
+    dci = sender.verbs.create_dc_initiator(pd, send_cq)
+
+    targets = {}
+    for host_id in (1, 2, 3):
+        host = cluster.host(host_id)
+        t_pd = host.verbs.alloc_pd()
+        t_cq = host.verbs.create_cq()
+        srq = host.verbs.create_srq(depth=64)
+        for _ in range(32):
+            srq.post(WorkRequest(opcode=Opcode.RECV, length=8192))
+        targets[host_id] = host.verbs.create_dc_target(t_pd, t_cq, srq)
+    return cluster, dci, targets
+
+
+def _drain(cluster, target, n, limit=5 * SECONDS):
+    def poller():
+        got = []
+        while len(got) < n:
+            got.extend(target.recv_cq.poll())
+            yield cluster.sim.timeout(1 * MICROS)
+        return got
+    return run_process(cluster, poller(), limit=limit)
+
+
+def test_dc_send_reaches_target(dc_setup):
+    cluster, dci, targets = dc_setup
+    dci.post_send(1, targets[1].dct_num,
+                  WorkRequest(opcode=Opcode.SEND, length=512, signaled=False))
+    completions = _drain(cluster, targets[1], 1)
+    assert completions[0].byte_len == 512
+
+
+def test_one_initiator_many_targets(dc_setup):
+    cluster, dci, targets = dc_setup
+    for host_id, target in targets.items():
+        for _ in range(4):
+            dci.post_send(host_id, target.dct_num, WorkRequest(
+                opcode=Opcode.SEND, length=100 + host_id, signaled=False))
+    for host_id, target in targets.items():
+        completions = _drain(cluster, target, 4)
+        assert all(c.byte_len == 100 + host_id for c in completions)
+    # One DCI session per target — not one QP per connection.
+    assert dci.session_count == 3
+    assert dci.connects == 3
+
+
+def test_retargeting_counts_switches(dc_setup):
+    cluster, dci, targets = dc_setup
+    # Alternate targets: every message forces a drain + switch.
+    for i in range(6):
+        host_id = 1 + (i % 2)
+        dci.post_send(host_id, targets[host_id].dct_num, WorkRequest(
+            opcode=Opcode.SEND, length=64, signaled=False))
+    _drain(cluster, targets[1], 3)
+    _drain(cluster, targets[2], 3)
+    assert dci.switches >= 4
+
+
+def test_sticky_target_avoids_switches(dc_setup):
+    cluster, dci, targets = dc_setup
+    for _ in range(6):
+        dci.post_send(1, targets[1].dct_num, WorkRequest(
+            opcode=Opcode.SEND, length=64, signaled=False))
+    _drain(cluster, targets[1], 6)
+    assert dci.switches == 0
+
+
+def test_dc_establishment_is_inband_and_cheap(dc_setup):
+    """First contact costs µs, not the ~4 ms of CM + create_qp."""
+    cluster, dci, targets = dc_setup
+    t0 = cluster.sim.now
+    dci.post_send(1, targets[1].dct_num, WorkRequest(
+        opcode=Opcode.SEND, length=64, signaled=False))
+    _drain(cluster, targets[1], 1)
+    first_contact_ns = cluster.sim.now - t0
+    assert first_contact_ns < 100 * MICROS
+
+
+def test_dc_target_sessions_demux_per_initiator():
+    cluster = build_cluster(3)
+    receivers = {}
+    host = cluster.host(2)
+    t_pd = host.verbs.alloc_pd()
+    t_cq = host.verbs.create_cq()
+    srq = host.verbs.create_srq(depth=64)
+    for _ in range(32):
+        srq.post(WorkRequest(opcode=Opcode.RECV, length=8192))
+    target = host.verbs.create_dc_target(t_pd, t_cq, srq)
+
+    for sender_id in (0, 1):
+        sender = cluster.host(sender_id)
+        pd = sender.verbs.alloc_pd()
+        cq = sender.verbs.create_cq()
+        dci = sender.verbs.create_dc_initiator(pd, cq)
+        dci.post_send(2, target.dct_num, WorkRequest(
+            opcode=Opcode.SEND, length=300 + sender_id, signaled=False))
+
+    def poller():
+        got = []
+        while len(got) < 2:
+            got.extend(t_cq.poll())
+            yield cluster.sim.timeout(1 * MICROS)
+        return got
+
+    completions = run_process(cluster, poller(), limit=5 * SECONDS)
+    assert sorted(c.byte_len for c in completions) == [300, 301]
+    assert target.session_count == 2

@@ -1,0 +1,124 @@
+"""NIC engine behaviour: WQE-atomic head-of-line blocking, SRQ, QP cache."""
+
+from statistics import mean
+
+import pytest
+
+from repro.rnic import Opcode, QpState, WorkRequest
+from repro.rnic.qp import QpStateError, SharedReceiveQueue
+from repro.sim import MICROS, MILLIS, SECONDS, SimParams
+from tests.conftest import build_cluster, establish, run_process
+
+
+def _small_latency(cluster, conn_c, conn_s, background=None):
+    """One 64 B send's delivery latency, optionally behind background."""
+    client, server = cluster.host(0), cluster.host(1)
+    sim = cluster.sim
+
+    def scenario():
+        yield server.verbs.post_recv(conn_s.qp, WorkRequest(
+            opcode=Opcode.RECV, length=256))
+        if background is not None:
+            yield from background()
+        t0 = sim.now
+        yield client.verbs.post_send(conn_c.qp, WorkRequest(
+            opcode=Opcode.SEND, length=64, signaled=False))
+        while not conn_s.qp.recv_cq.poll(1):
+            yield sim.timeout(200)
+        return sim.now - t0
+
+    return run_process(cluster, scenario(), limit=10 * SECONDS)
+
+
+def test_large_wqe_blocks_small_message_on_other_qp():
+    """The Sec. V-C motivation: a big WRITE occupies the engine and the
+    uplink, delaying unrelated traffic — fragmentation's whole point."""
+    cluster = build_cluster(3)
+    conn_c, conn_s = establish(cluster, 0, 1, service_port=7000)
+    alone = _small_latency(cluster, conn_c, conn_s)
+
+    cluster2 = build_cluster(3)
+    conn2_c, conn2_s = establish(cluster2, 0, 1, service_port=7000)
+    bulk_c, bulk_s = establish(cluster2, 0, 2, service_port=7001)
+    host0 = cluster2.host(0)
+    host2 = cluster2.host(2)
+
+    def background():
+        buf = host2.memory.alloc(4 << 20)
+        mr = yield host2.verbs.reg_mr(bulk_s.qp.pd, buf.addr, buf.length)
+        yield host0.verbs.post_send(bulk_c.qp, WorkRequest(
+            opcode=Opcode.WRITE, length=4 << 20, remote_addr=mr.addr,
+            rkey=mr.rkey, signaled=False))
+
+    behind_bulk = _small_latency(cluster2, conn2_c, conn2_s,
+                                 background=background)
+    # The 4 MB WQE (≈1000 segments) must delay the small message by far
+    # more than its standalone latency.
+    assert behind_bulk > 3 * alone
+
+
+def test_srq_shared_across_qps(cluster):
+    conn_a, srv_a = establish(cluster, 0, 1, service_port=7100)
+    conn_b, srv_b = establish(cluster, 2, 1, service_port=7101)
+    server = cluster.host(1)
+    srq = SharedReceiveQueue(depth=8)
+    # Rewire both server QPs onto the shared queue.
+    srv_a.qp.srq = srq
+    srv_b.qp.srq = srq
+    for _ in range(4):
+        srq.post(WorkRequest(opcode=Opcode.RECV, length=4096))
+
+    def scenario():
+        yield cluster.host(0).verbs.post_send(conn_a.qp, WorkRequest(
+            opcode=Opcode.SEND, length=100, signaled=False))
+        yield cluster.host(2).verbs.post_send(conn_b.qp, WorkRequest(
+            opcode=Opcode.SEND, length=200, signaled=False))
+        while len(srq) > 2:
+            yield cluster.sim.timeout(1 * MICROS)
+        return len(srq)
+
+    remaining = run_process(cluster, scenario(), limit=5 * SECONDS)
+    assert remaining == 2     # both QPs consumed from the one pool
+
+
+def test_srq_depth_enforced():
+    srq = SharedReceiveQueue(depth=2)
+    srq.post(WorkRequest(opcode=Opcode.RECV, length=64))
+    srq.post(WorkRequest(opcode=Opcode.RECV, length=64))
+    with pytest.raises(QpStateError):
+        srq.post(WorkRequest(opcode=Opcode.RECV, length=64))
+
+
+def test_post_recv_on_srq_qp_rejected(cluster):
+    server = cluster.host(1)
+    srq = SharedReceiveQueue(depth=8)
+    conn_c, conn_s = establish(cluster, 0, 1)
+    conn_s.qp.srq = srq
+    with pytest.raises(QpStateError, match="SRQ"):
+        conn_s.qp.post_recv(WorkRequest(opcode=Opcode.RECV, length=64))
+
+
+def test_qp_cache_evicts_lru():
+    params = SimParams(nic_qp_cache_entries=2)
+    cluster = build_cluster(2, params=params)
+    nic = cluster.host(0).nic
+    assert nic._qp_cache_access(1) > 0     # miss
+    assert nic._qp_cache_access(2) > 0     # miss
+    assert nic._qp_cache_access(1) == 0    # hit
+    assert nic._qp_cache_access(3) > 0     # miss, evicts 2 (LRU)
+    assert nic._qp_cache_access(2) > 0     # miss again
+    assert nic.cache_hits == 1
+    assert nic.cache_misses == 4
+
+
+def test_illegal_qp_transition_rejected(cluster):
+    conn_c, conn_s = establish(cluster, 0, 1)
+    with pytest.raises(QpStateError):
+        conn_c.qp.transition(QpState.INIT)   # RTS → INIT is illegal
+
+
+def test_qp_reset_from_any_state(cluster):
+    conn_c, conn_s = establish(cluster, 0, 1)
+    conn_c.qp.reset()
+    assert conn_c.qp.state is QpState.RESET
+    assert conn_c.qp.send_psn == 0

@@ -1,0 +1,298 @@
+"""Unit tests for the DES core: engine, events, processes."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulator,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == 100
+    assert sim.now == 100
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    sim.spawn(proc("b", 20))
+    sim.spawn(proc("a", 10))
+    sim.spawn(proc("c", 30))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(5)
+        order.append(name)
+
+    for name in "abcd":
+        sim.spawn(proc(name))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        return value + 1
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == 43
+
+
+def test_manual_event_delivers_value():
+    sim = Simulator()
+    ev = sim.event("door")
+    seen = []
+
+    def waiter():
+        value = yield ev
+        seen.append(value)
+
+    sim.spawn(waiter())
+
+    def opener():
+        yield sim.timeout(10)
+        ev.succeed("open")
+
+    sim.spawn(opener())
+    sim.run()
+    assert seen == ["open"]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("died")
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_observed_process_exception_is_not_fatal():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("died")
+
+    def parent():
+        try:
+            yield sim.spawn(bad())
+        except RuntimeError:
+            return "handled"
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_run_until_limit_stops_early():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1000)
+
+    sim.spawn(proc())
+    sim.run(until=300)
+    assert sim.now == 300
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(7)
+        return "done"
+
+    p = sim.spawn(proc())
+    assert sim.run_until_event(p) == "done"
+
+
+def test_run_until_event_detects_deadlock():
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def waiter():
+        yield ev
+
+    p = sim.spawn(waiter())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_event(p)
+
+
+def test_interrupt_reaches_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, sim.now))
+
+    victim = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(50)
+        victim.interrupt("wake")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert log == [("interrupted", "wake", 50)]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.spawn(quick())
+    sim.run()
+    p.interrupt("late")  # must not raise
+    sim.run()
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(10, value="fast")
+        t2 = sim.timeout(100, value="slow")
+        result = yield AnyOf(sim, [t1, t2])
+        return list(result.values())
+
+    p = sim.spawn(proc())
+    sim.run_until_event(p)
+    assert p.value == ["fast"]
+    assert sim.now >= 10
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(10)
+        t2 = sim.timeout(100)
+        yield sim.all_of([t1, t2])
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == 100
+
+
+def test_call_after_runs_callback():
+    sim = Simulator()
+    hits = []
+    sim.call_after(25, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [25]
+
+
+def test_call_at_rejects_past():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.spawn(proc())
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(50, lambda: None)
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timeout(sim, -1)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok

@@ -1,0 +1,29 @@
+"""Continuous pingmesh mode of XR-Ping."""
+
+import pytest
+
+from repro.sim import MILLIS, SECONDS
+from repro.tools import XrPing
+from tests.xrdma.conftest import make_context
+
+
+def test_pingmesh_accumulates_history(cluster):
+    contexts = [make_context(cluster, h) for h in range(3)]
+    ping = XrPing(cluster, contexts)
+    ping.start_pingmesh(interval_ns=50 * MILLIS)
+    cluster.sim.run(until=cluster.sim.now + 400 * MILLIS)
+    timeline = ping.pair_timeline(0, 1)
+    assert len(timeline) >= 2
+    assert all(rtt is not None and rtt > 0 for _, rtt in timeline)
+
+
+def test_pingmesh_records_outage(cluster):
+    contexts = [make_context(cluster, h) for h in range(3)]
+    ping = XrPing(cluster, contexts, probe_timeout_ns=20 * MILLIS)
+    ping.start_pingmesh(interval_ns=50 * MILLIS)
+    cluster.sim.run(until=cluster.sim.now + 200 * MILLIS)
+    cluster.host(2).nic.crash()
+    cluster.sim.run(until=cluster.sim.now + 6 * SECONDS)
+    timeline = ping.pair_timeline(0, 2)
+    assert timeline[0][1] is not None        # was reachable
+    assert timeline[-1][1] is None           # outage visible in history

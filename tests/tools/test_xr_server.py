@@ -1,0 +1,83 @@
+"""XR-Server: the standing diagnostic endpoint."""
+
+import pytest
+
+from repro.sim import MILLIS, SECONDS
+from repro.tools.xr_server import SERVER_PORT, XrServer
+from tests.conftest import run_process
+from tests.xrdma.conftest import make_context
+
+
+def test_echo_endpoint(cluster):
+    server = XrServer(cluster, host_id=1)
+    client = make_context(cluster, 0)
+
+    def scenario():
+        channel = yield from client.connect(1, SERVER_PORT)
+        request = client.send_request(channel, 2048,
+                                      payload={"op": "echo", "n": 7})
+        response = yield request.response
+        return response
+
+    response = run_process(cluster, scenario(), limit=5 * SECONDS)
+    assert response.payload == {"op": "echo", "n": 7}
+    assert response.payload_size == 2048
+    assert server.echoes == 1
+
+
+def test_sink_endpoint_counts_bytes(cluster):
+    server = XrServer(cluster, host_id=1)
+    client = make_context(cluster, 0)
+
+    def scenario():
+        channel = yield from client.connect(1, SERVER_PORT)
+        for _ in range(3):
+            msg = client.send_msg(channel, 10_000)
+        yield msg.acked
+
+    run_process(cluster, scenario(), limit=5 * SECONDS)
+    cluster.sim.run(until=cluster.sim.now + 20 * MILLIS)
+    assert server.sunk_msgs == 3
+    assert server.sunk_bytes == 30_000
+
+
+def test_stat_endpoint(cluster):
+    server = XrServer(cluster, host_id=1)
+    client = make_context(cluster, 0)
+
+    def scenario():
+        channel = yield from client.connect(1, SERVER_PORT)
+        request = client.send_request(channel, 64, payload={"op": "stat"})
+        response = yield request.response
+        return response
+
+    response = run_process(cluster, scenario(), limit=5 * SECONDS)
+    assert response.payload["channels"] == 1
+    assert "mem_occupied" in response.payload
+    assert server.stat_requests == 1
+
+
+def test_idle_poll_modes_change_latency(cluster):
+    """busy < hybrid-idle <= event for a cold (long-idle) request."""
+    from repro.xrdma import XrdmaConfig
+
+    def cold_latency(mode):
+        from repro.cluster import build_cluster
+        fresh = build_cluster(2)
+        config = XrdmaConfig(idle_poll_mode=mode)
+        server = XrServer(fresh, host_id=1, config=config)
+        client = fresh.xrdma_context(0, config=config)
+
+        def scenario():
+            channel = yield from client.connect(1, SERVER_PORT)
+            yield fresh.sim.timeout(5 * MILLIS)     # go cold
+            t0 = fresh.sim.now
+            request = client.send_request(channel, 64)
+            yield request.response
+            return fresh.sim.now - t0
+
+        return run_process(fresh, scenario(), limit=5 * SECONDS)
+
+    busy = cold_latency("busy")
+    event = cold_latency("event")
+    assert busy < event

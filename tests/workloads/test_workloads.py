@@ -1,0 +1,76 @@
+"""Flow models and trace profiles."""
+
+import pytest
+
+from repro.sim import MILLIS, RngRegistry, SECONDS
+from repro.workloads import (burst_profile, diurnal_profile, elephant_size,
+                             mice_size, rate_at)
+from repro.workloads.flows import FlowSpec
+
+
+def test_mice_sizes_are_small():
+    rng = RngRegistry(0).stream("mice")
+    sizes = [mice_size(rng) for _ in range(300)]
+    assert all(64 <= size <= 4096 for size in sizes)
+
+
+def test_elephant_sizes_are_large_and_capped():
+    rng = RngRegistry(0).stream("elephant")
+    sizes = [elephant_size(rng) for _ in range(300)]
+    assert all(256 * 1024 <= size <= 4 * 1024 * 1024 for size in sizes)
+    assert max(sizes) > 512 * 1024            # the tail is heavy
+
+
+def test_flowspec_fixed_size():
+    spec = FlowSpec(src=0, dst=1, fixed_size=1234)
+    rng = RngRegistry(0).stream("s")
+    assert spec.draw_size(rng) == 1234
+
+
+def test_flowspec_size_fn():
+    spec = FlowSpec(src=0, dst=1, size_fn=mice_size)
+    rng = RngRegistry(0).stream("s")
+    assert 64 <= spec.draw_size(rng) <= 4096
+
+
+def test_diurnal_profile_oscillates():
+    knots = diurnal_profile(duration_ns=4 * SECONDS, period_ns=1 * SECONDS,
+                            low=10, high=100)
+    values = [value for _, value in knots]
+    assert min(values) == pytest.approx(10, abs=1)
+    assert max(values) == pytest.approx(100, abs=1)
+    # Multiple periods → multiple peaks.
+    peaks = sum(1 for a, b, c in zip(values, values[1:], values[2:])
+                if b >= a and b >= c and b > 55)
+    assert peaks >= 3
+
+
+def test_diurnal_profile_validation():
+    with pytest.raises(ValueError):
+        diurnal_profile(0, SECONDS, 1, 2)
+    with pytest.raises(ValueError):
+        diurnal_profile(SECONDS, SECONDS, 5, 2)
+
+
+def test_burst_profile_shape():
+    knots = burst_profile(duration_ns=SECONDS, base=100, burst=300,
+                          burst_start_ns=400 * MILLIS,
+                          burst_len_ns=200 * MILLIS)
+    assert rate_at(knots, 0) == 100
+    assert rate_at(knots, 500 * MILLIS) == 300
+    assert rate_at(knots, 700 * MILLIS) == 100
+
+
+def test_burst_profile_validation():
+    with pytest.raises(ValueError):
+        burst_profile(SECONDS, 1, 2, burst_start_ns=2 * SECONDS,
+                      burst_len_ns=1)
+
+
+def test_rate_at_steps():
+    knots = [(0, 1.0), (100, 2.0), (200, 3.0)]
+    assert rate_at(knots, 0) == 1.0
+    assert rate_at(knots, 150) == 2.0
+    assert rate_at(knots, 999) == 3.0
+    with pytest.raises(ValueError):
+        rate_at([], 0)

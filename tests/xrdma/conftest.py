@@ -1,0 +1,37 @@
+"""Fixtures for middleware tests: contexts and established channels."""
+
+import pytest
+
+from repro.xrdma import XrdmaConfig, XrdmaContext
+from tests.conftest import Cluster, build_cluster, run_process
+
+
+def make_context(cluster: Cluster, host_id: int,
+                 config: XrdmaConfig = None) -> XrdmaContext:
+    host = cluster.host(host_id)
+    ctx = XrdmaContext(cluster.sim, host.verbs, host.cm, config=config,
+                       name=f"xr-h{host_id}")
+    return ctx
+
+
+def connect_pair(cluster: Cluster, client_id: int = 0, server_id: int = 1,
+                 port: int = 9100, client_config: XrdmaConfig = None,
+                 server_config: XrdmaConfig = None):
+    """Two contexts + an established channel pair (client_ch, server_ch)."""
+    client = make_context(cluster, client_id, client_config)
+    server = make_context(cluster, server_id, server_config)
+    accepted = server.listen(port)
+
+    def scenario():
+        channel = yield from client.connect(server_id, port)
+        server_channel = yield accepted.get()
+        return channel, server_channel
+
+    client_ch, server_ch = run_process(cluster, scenario())
+    return client, server, client_ch, server_ch
+
+
+@pytest.fixture
+def xr(cluster):
+    client, server, client_ch, server_ch = connect_pair(cluster)
+    return cluster, client, server, client_ch, server_ch

@@ -1,0 +1,145 @@
+"""FlowController + WrBudget units (fragmentation and queuing)."""
+
+import pytest
+
+from repro.rnic import Opcode, WorkRequest
+from repro.sim import SECONDS
+from repro.xrdma.flowctl import FlowController, WrBudget
+from tests.conftest import establish, run_process
+
+
+@pytest.fixture
+def flow(cluster):
+    conn_c, conn_s = establish(cluster, 0, 1)
+    host = cluster.host(0)
+    controller = FlowController(host.verbs, conn_c.qp, max_outstanding=2,
+                                fragment_bytes=64 * 1024, enabled=True)
+    return cluster, controller, conn_c
+
+
+def _wr(size=0):
+    return WorkRequest(opcode=Opcode.WRITE, length=size, remote_addr=0,
+                       rkey=1, signaled=False)
+
+
+def test_fragment_sizes_split_large_payloads(flow):
+    cluster, controller, conn = flow
+    assert controller.fragment_sizes(10) == [10]
+    assert controller.fragment_sizes(64 * 1024) == [64 * 1024]
+    assert controller.fragment_sizes(200 * 1024) == \
+        [64 * 1024, 64 * 1024, 64 * 1024, 8 * 1024]
+
+
+def test_fragment_sizes_disabled_is_identity(cluster):
+    conn_c, conn_s = establish(cluster, 0, 1)
+    controller = FlowController(cluster.host(0).verbs, conn_c.qp,
+                                max_outstanding=2, fragment_bytes=64 * 1024,
+                                enabled=False)
+    assert controller.fragment_sizes(1 << 20) == [1 << 20]
+
+
+def test_post_queues_beyond_cap(flow):
+    cluster, controller, conn = flow
+
+    def scenario():
+        for _ in range(5):
+            yield from controller.post(_wr())
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    assert controller.outstanding == 2
+    assert controller.queued == 3
+    assert controller.queued_total == 3
+
+
+def test_completion_admits_queued(flow):
+    cluster, controller, conn = flow
+
+    def scenario():
+        for _ in range(5):
+            yield from controller.post(_wr())
+        yield from controller.on_completion()
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    assert controller.outstanding == 2    # one freed, one admitted
+    assert controller.queued == 2
+
+
+def test_shared_budget_caps_across_controllers(cluster):
+    conn_a, _ = establish(cluster, 0, 1, service_port=7100)
+    conn_b, _ = establish(cluster, 0, 1, service_port=7101)
+    verbs = cluster.host(0).verbs
+    budget = WrBudget(3)
+    flow_a = FlowController(verbs, conn_a.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+    flow_b = FlowController(verbs, conn_b.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+
+    def scenario():
+        for _ in range(4):
+            yield from flow_a.post(_wr())
+        for _ in range(4):
+            yield from flow_b.post(_wr())
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    assert flow_a.outstanding + flow_b.outstanding == 3
+    assert budget.in_use == 3
+    assert flow_a.queued + flow_b.queued == 5
+
+
+def test_budget_drain_is_fair_fifo(cluster):
+    conn_a, _ = establish(cluster, 0, 1, service_port=7100)
+    conn_b, _ = establish(cluster, 0, 1, service_port=7101)
+    verbs = cluster.host(0).verbs
+    budget = WrBudget(1)
+    flow_a = FlowController(verbs, conn_a.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+    flow_b = FlowController(verbs, conn_b.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+
+    def scenario():
+        yield from flow_a.post(_wr())     # takes the only slot
+        yield from flow_a.post(_wr())     # queued at A
+        yield from flow_b.post(_wr())     # queued at B, waits behind A
+        yield from flow_a.on_completion()
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    # A's own queue wins the freed slot first (local drain before budget).
+    assert flow_a.outstanding == 1
+    assert flow_b.outstanding == 0
+
+
+def test_drop_all_releases_budget(cluster):
+    conn_a, _ = establish(cluster, 0, 1, service_port=7100)
+    verbs = cluster.host(0).verbs
+    budget = WrBudget(2)
+    controller = FlowController(verbs, conn_a.qp, max_outstanding=8,
+                                fragment_bytes=64 * 1024, budget=budget)
+
+    def scenario():
+        for _ in range(4):
+            yield from controller.post(_wr())
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    assert budget.in_use == 2
+    dropped = controller.drop_all()
+    assert dropped == 2
+    assert budget.in_use == 0
+
+
+def test_disabled_controller_never_queues(cluster):
+    conn_a, _ = establish(cluster, 0, 1, service_port=7100)
+    controller = FlowController(cluster.host(0).verbs, conn_a.qp,
+                                max_outstanding=1, fragment_bytes=64 * 1024,
+                                enabled=False, budget=WrBudget(1))
+
+    def scenario():
+        for _ in range(5):
+            yield from controller.post(_wr())
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    assert controller.queued == 0
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        WrBudget(0)

@@ -1,0 +1,92 @@
+"""KeepAlive protocol extension (Sec. V-A): probing and leak prevention."""
+
+import pytest
+
+from repro.sim import MILLIS, SECONDS
+from repro.xrdma import XrdmaConfig
+from repro.xrdma.channel import ChannelState
+from tests.conftest import run_process
+from tests.xrdma.conftest import connect_pair
+
+
+def fast_keepalive():
+    return XrdmaConfig(keepalive_intv_ms=5.0)
+
+
+def test_idle_channel_sends_probes(cluster):
+    client, server, client_ch, server_ch = connect_pair(
+        cluster, client_config=fast_keepalive(),
+        server_config=fast_keepalive())
+    cluster.sim.run(until=cluster.sim.now + 100 * MILLIS)
+    assert client_ch.stats["keepalives_sent"] >= 5
+    assert client_ch.state is ChannelState.READY
+
+
+def test_probes_do_not_reach_the_application(cluster):
+    client, server, client_ch, server_ch = connect_pair(
+        cluster, client_config=fast_keepalive(),
+        server_config=fast_keepalive())
+    cluster.sim.run(until=cluster.sim.now + 50 * MILLIS)
+    assert len(server.incoming.items) == 0
+    assert server_ch.stats["rx_msgs"] == 0
+
+
+def test_busy_channel_sends_no_probes(cluster):
+    client, server, client_ch, server_ch = connect_pair(
+        cluster, client_config=fast_keepalive(),
+        server_config=fast_keepalive())
+
+    def chatter():
+        for _ in range(40):
+            client.send_msg(client_ch, 64)
+            yield server.incoming.get()
+            yield cluster.sim.timeout(2 * MILLIS)
+
+    run_process(cluster, chatter(), limit=2 * SECONDS)
+    assert client_ch.stats["keepalives_sent"] == 0
+
+
+def test_dead_peer_detected_and_resources_released(cluster):
+    client, server, client_ch, server_ch = connect_pair(
+        cluster, client_config=fast_keepalive(),
+        server_config=fast_keepalive())
+    broken = []
+    client_ch.on_broken = lambda ch: broken.append(ch.channel_id)
+    in_use_before_crash = client.memcache.in_use_bytes
+    assert in_use_before_crash > 0  # pre-posted receive buffers
+
+    cluster.host(1).nic.crash()
+    cluster.sim.run(until=cluster.sim.now + 5 * SECONDS)
+
+    assert broken == [client_ch.channel_id]
+    assert client_ch.state is ChannelState.BROKEN
+    # Connection leak prevented: buffers went back to the cache ...
+    assert client.memcache.in_use_bytes < in_use_before_crash
+    # ... and the channel map no longer references the dead connection.
+    assert client_ch.qp.qpn not in client.channels
+    assert client.broken_channels == 1
+
+
+def test_pending_messages_fail_when_peer_dies(cluster):
+    client, server, client_ch, server_ch = connect_pair(
+        cluster, client_config=fast_keepalive(),
+        server_config=fast_keepalive())
+    cluster.host(1).nic.crash()
+    msg = client.send_msg(client_ch, 64)
+
+    def waiter():
+        try:
+            yield msg.acked
+            return "acked"
+        except Exception as exc:  # noqa: BLE001
+            return type(exc).__name__
+
+    result = run_process(cluster, waiter(), limit=30 * SECONDS)
+    assert result == "ChannelBroken"
+
+
+def test_keepalive_interval_is_online_tunable(cluster):
+    client, server, client_ch, server_ch = connect_pair(cluster)
+    client.set_flag("keepalive_intv_ms", 2.0)
+    cluster.sim.run(until=cluster.sim.now + 50 * MILLIS)
+    assert client_ch.stats["keepalives_sent"] >= 10

@@ -1,0 +1,136 @@
+"""Memory cache: pooling, growth/shrink, accounting, isolation."""
+
+import pytest
+
+from repro.xrdma.memcache import MemCache, MemCacheError
+from tests.conftest import build_cluster, run_process
+
+
+@pytest.fixture
+def setup(cluster):
+    host = cluster.host(0)
+    pd = host.verbs.alloc_pd()
+    cache = MemCache(host.verbs, pd, mr_bytes=1 << 20)
+    return cluster, cache
+
+
+def _alloc(cluster, cache, size):
+    def proc():
+        buffer = yield from cache.alloc(size)
+        return buffer
+    return run_process(cluster, proc())
+
+
+def test_first_alloc_registers_one_mr(setup):
+    cluster, cache = setup
+    buffer = _alloc(cluster, cache, 4096)
+    assert cache.mr_count == 1
+    assert cache.occupied_bytes == 1 << 20
+    assert cache.in_use_bytes == 4096
+    assert buffer.rkey == buffer.mr.rkey
+
+
+def test_allocations_share_one_arena(setup):
+    cluster, cache = setup
+    for _ in range(8):
+        _alloc(cluster, cache, 4096)
+    assert cache.mr_count == 1  # no extra registrations: the LITE lesson
+
+
+def test_grows_when_arena_exhausted(setup):
+    cluster, cache = setup
+    _alloc(cluster, cache, 1 << 20)
+    _alloc(cluster, cache, 4096)
+    assert cache.mr_count == 2
+    assert cache.grow_count == 2
+
+
+def test_free_enables_reuse_without_growth(setup):
+    cluster, cache = setup
+    buffer = _alloc(cluster, cache, 1 << 20)
+    cache.free(buffer)
+    _alloc(cluster, cache, 1 << 20)
+    assert cache.mr_count == 1
+
+
+def test_free_list_coalesces(setup):
+    cluster, cache = setup
+    buffers = [_alloc(cluster, cache, 256 * 1024) for _ in range(4)]
+    for buffer in buffers:
+        cache.free(buffer)
+    # After coalescing, one full-size allocation fits again.
+    _alloc(cluster, cache, 1 << 20)
+    assert cache.mr_count == 1
+
+
+def test_double_free_rejected(setup):
+    cluster, cache = setup
+    buffer = _alloc(cluster, cache, 4096)
+    cache.free(buffer)
+    with pytest.raises(MemCacheError):
+        cache.free(buffer)
+
+
+def test_oversized_alloc_rejected(setup):
+    cluster, cache = setup
+    with pytest.raises(MemCacheError):
+        _alloc(cluster, cache, (1 << 20) + 1)
+
+
+def test_shrink_reclaims_idle_arenas(setup):
+    cluster, cache = setup
+    a = _alloc(cluster, cache, 1 << 20)
+    b = _alloc(cluster, cache, 1 << 20)
+    cache.free(a)
+    cache.free(b)
+    reclaimed = cache.shrink()
+    assert reclaimed == 1          # one kept warm
+    assert cache.mr_count == 1
+    assert cache.shrink_count == 1
+
+
+def test_shrink_spares_arenas_in_use(setup):
+    cluster, cache = setup
+    keep = _alloc(cluster, cache, 1 << 20)
+    spare = _alloc(cluster, cache, 4096)
+    cache.free(spare)
+    # Arena 2 idle, arena 1 busy: only arena 2 may go.
+    assert cache.shrink() == 1
+    assert cache.mr_count == 1
+    assert cache.in_use_bytes == 1 << 20
+
+
+def test_try_alloc_never_registers(setup):
+    cluster, cache = setup
+    assert cache.try_alloc(4096) is None
+    _alloc(cluster, cache, 4096)
+    assert cache.try_alloc(4096) is not None
+
+
+def test_isolated_mode_uses_high_addresses(cluster):
+    host = cluster.host(0)
+    pd = host.verbs.alloc_pd()
+    cache = MemCache(host.verbs, pd, mr_bytes=1 << 20, isolated=True)
+    buffer = _alloc(cluster, cache, 4096)
+    assert buffer.addr >= 0x7F00_0000_0000
+
+
+def test_isolated_mode_detects_out_of_bounds(cluster):
+    host = cluster.host(0)
+    pd = host.verbs.alloc_pd()
+    cache = MemCache(host.verbs, pd, mr_bytes=1 << 20, isolated=True)
+    buffer = _alloc(cluster, cache, 4096)
+    assert cache.check_access(buffer.addr, 4096)
+    assert not cache.check_access(buffer.addr + (1 << 20), 4096)
+    assert cache.out_of_bound_hits == 1
+
+
+def test_prewarm_registers_up_front(setup):
+    cluster, cache = setup
+
+    def proc():
+        yield from cache.prewarm(3)
+
+    run_process(cluster, proc())
+    assert cache.mr_count == 3
+    assert cache.in_use_bytes == 0

@@ -1,0 +1,104 @@
+"""End-to-end property tests: random traffic through real channels.
+
+These run whole simulations inside hypothesis, so examples are kept small
+and deadlines disabled; the invariants are the paper's hard guarantees —
+exactly-once in-order delivery, RNR-freedom, and buffer balance.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.sim import SECONDS
+from repro.xrdma import XrdmaConfig
+
+# Sizes straddle the small/large threshold, including the exact boundary.
+_SIZE = st.sampled_from([1, 64, 4095, 4096, 4097, 16384, 200_000])
+
+
+@given(sizes=st.lists(_SIZE, min_size=1, max_size=25),
+       depth=st.sampled_from([2, 4, 32]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_exactly_once_in_order(sizes, depth):
+    cluster = build_cluster(2)
+    config = XrdmaConfig(inflight_depth=depth)
+    client = cluster.xrdma_context(0, config=config)
+    server = cluster.xrdma_context(1, config=config)
+    accepted = server.listen(9100)
+    received = []
+
+    def scenario():
+        channel = yield from client.connect(1, 9100)
+        for index, size in enumerate(sizes):
+            client.send_msg(channel, size, payload=index)
+        while len(received) < len(sizes):
+            for msg in server.polling():
+                received.append((msg.payload, msg.payload_size))
+            yield cluster.sim.timeout(100_000)
+
+    proc = cluster.sim.spawn(scenario())
+    cluster.sim.run_until_event(proc, limit=60 * SECONDS)
+
+    # Exactly once, in order, sizes intact.
+    assert [payload for payload, _ in received] == list(range(len(sizes)))
+    assert [size for _, size in received] == sizes
+    # RNR-free regardless of burst shape and window depth.
+    assert cluster.stats.rnr_naks == 0
+
+
+@given(sizes=st.lists(_SIZE, min_size=1, max_size=12))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_memory_balance_after_acks(sizes):
+    """Every buffer the data path borrows goes back once acked."""
+    cluster = build_cluster(2)
+    client = cluster.xrdma_context(0)
+    server = cluster.xrdma_context(1)
+    server.listen(9100)
+
+    def scenario():
+        channel = yield from client.connect(1, 9100)
+        baseline_client = client.memcache.in_use_bytes
+        baseline_server = server.memcache.in_use_bytes
+        messages = [client.send_msg(channel, size) for size in sizes]
+        for message in messages:
+            yield message.acked
+        return baseline_client, baseline_server
+
+    proc = cluster.sim.spawn(scenario())
+    baseline_client, baseline_server = cluster.sim.run_until_event(
+        proc, limit=60 * SECONDS)
+    assert client.memcache.in_use_bytes == baseline_client
+    assert server.memcache.in_use_bytes == baseline_server
+
+
+@given(request_sizes=st.lists(_SIZE, min_size=1, max_size=8),
+       response_size=_SIZE)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_rpc_pairs_every_request(request_sizes, response_size):
+    """Every request gets exactly its own response, any size mix."""
+    cluster = build_cluster(2)
+    client = cluster.xrdma_context(0)
+    server = cluster.xrdma_context(1)
+    accepted = server.listen(9100)
+
+    def scenario():
+        channel = yield from client.connect(1, 9100)
+        server_channel = yield accepted.get()
+        server_channel.on_request = lambda msg: server.send_response(
+            msg, response_size, payload=("reply", msg.payload))
+        requests = [client.send_request(channel, size, payload=index)
+                    for index, size in enumerate(request_sizes)]
+        replies = []
+        for request in requests:
+            response = yield request.response
+            replies.append(response.payload)
+        return replies
+
+    proc = cluster.sim.spawn(scenario())
+    replies = cluster.sim.run_until_event(proc, limit=60 * SECONDS)
+    assert replies == [("reply", index)
+                       for index in range(len(request_sizes))]

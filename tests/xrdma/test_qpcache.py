@@ -1,0 +1,98 @@
+"""QP cache: recycling, hit accounting, capacity."""
+
+import pytest
+
+from repro.rnic import QpState
+from repro.xrdma import QpCache
+from tests.conftest import run_process
+
+
+@pytest.fixture
+def setup(cluster):
+    host = cluster.host(0)
+    pd = host.verbs.alloc_pd()
+    cq = host.verbs.create_cq()
+    cache = QpCache(host.verbs, pd, cq, cq, capacity=2)
+    return cluster, host, cache
+
+
+def _create_qp(cluster, host, cache):
+    def proc():
+        qp = yield host.verbs.create_qp(cache.pd, cache.send_cq,
+                                        cache.recv_cq)
+        return qp
+    return run_process(cluster, proc())
+
+
+def test_empty_cache_misses(setup):
+    cluster, host, cache = setup
+    assert cache.get() is None
+    assert cache.misses == 1
+
+
+def test_put_then_get_hits(setup):
+    cluster, host, cache = setup
+    qp = _create_qp(cluster, host, cache)
+
+    def recycle():
+        yield from cache.put(qp)
+
+    run_process(cluster, recycle())
+    assert len(cache) == 1
+    got = cache.get()
+    assert got is qp
+    assert got.state is QpState.RESET
+    assert cache.hits == 1
+
+
+def test_recycled_qp_state_is_clean(setup):
+    cluster, host, cache = setup
+    qp = _create_qp(cluster, host, cache)
+    qp.transition(QpState.INIT)
+    qp.send_psn = 99
+
+    def recycle():
+        yield from cache.put(qp)
+
+    run_process(cluster, recycle())
+    got = cache.get()
+    assert got.send_psn == 0
+    assert got.remote_host is None
+
+
+def test_capacity_overflow_destroys(setup):
+    cluster, host, cache = setup
+    qps = [_create_qp(cluster, host, cache) for _ in range(3)]
+
+    def recycle_all():
+        for qp in qps:
+            yield from cache.put(qp)
+
+    run_process(cluster, recycle_all())
+    assert len(cache) == 2
+    # The overflow QP was destroyed at the NIC.
+    assert qps[2].qpn not in host.nic.qps
+
+
+def test_prewarm_fills_pool(setup):
+    cluster, host, cache = setup
+
+    def warm():
+        yield from cache.prewarm(5)
+
+    run_process(cluster, warm())
+    assert len(cache) == 2  # clamped at capacity
+
+
+def test_fifo_recycling_order(setup):
+    cluster, host, cache = setup
+    qp_a = _create_qp(cluster, host, cache)
+    qp_b = _create_qp(cluster, host, cache)
+
+    def recycle():
+        yield from cache.put(qp_a)
+        yield from cache.put(qp_b)
+
+    run_process(cluster, recycle())
+    assert cache.get() is qp_a
+    assert cache.get() is qp_b
