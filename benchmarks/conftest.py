@@ -10,7 +10,22 @@ import pathlib
 
 import pytest
 
+from repro.analysis import invariants
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def counting_invariants():
+    """Benchmarks run under a count-mode registry: violations are recorded
+    (and sampled into the Monitor's ``*.invariant_violations`` series) but
+    never abort the run, mirroring production count-and-report."""
+    registry = invariants.install(mode="count")
+    yield registry
+    if registry.total:
+        print(f"\n[invariants] {registry.total} violation(s): "
+              f"{registry.summary()}")
+    invariants.uninstall()
 
 
 def emit(name: str, lines):

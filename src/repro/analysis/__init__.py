@@ -9,18 +9,24 @@
 * :class:`~repro.analysis.monitor.Monitor` — the centralized collector the
   XR-* tools and production figures read from.
 * :class:`~repro.analysis.faultfilter.Filter` — error injection (drops,
-  slow messages) on the data plane, tunable online.
+  delays, duplicates) on the data plane, tunable online.
 * :class:`~repro.analysis.mock.Mock` — temporary TCP fallback.
+* :class:`~repro.analysis.invariants.InvariantRegistry` — the runtime
+  protocol-sanitizer: inline invariant hooks plus structural deep checks,
+  fatal under tests and counting under benches.
 """
 
 from repro.analysis.clocksync import ClockSync, HostClock
-from repro.analysis.faultfilter import Filter
+from repro.analysis.faultfilter import FaultRule, Filter
+from repro.analysis.invariants import (InvariantError, InvariantRegistry,
+                                       verify_context)
 from repro.analysis.mock import Mock
 from repro.analysis.monitor import Monitor
 from repro.analysis.report import series_panel, sparkline, table
 from repro.analysis.stats import LatencyHistogram
 from repro.analysis.tracing import TraceRecord, Tracer
 
-__all__ = ["ClockSync", "Filter", "HostClock", "LatencyHistogram", "Mock",
-           "Monitor", "TraceRecord", "Tracer", "series_panel", "sparkline",
-           "table"]
+__all__ = ["ClockSync", "FaultRule", "Filter", "HostClock",
+           "InvariantError", "InvariantRegistry", "LatencyHistogram",
+           "Mock", "Monitor", "TraceRecord", "Tracer", "series_panel",
+           "sparkline", "table", "verify_context"]

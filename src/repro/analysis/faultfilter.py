@@ -26,6 +26,9 @@ class FaultRule:
     drop_probability: float = 0.0
     delay_ns: int = 0
     delay_probability: float = 0.0
+    #: deliver the message twice (a middleware-level retransmit arriving
+    #: after the original made it through — the receiver must dedup)
+    duplicate_probability: float = 0.0
     channel_id: Optional[int] = None
     enabled: bool = True
 
@@ -42,6 +45,7 @@ class Filter:
         self.rules: List[FaultRule] = []
         self.dropped = 0
         self.delayed = 0
+        self.duplicated = 0
 
     def add_rule(self, rule: FaultRule) -> FaultRule:
         self.rules.append(rule)
@@ -69,3 +73,12 @@ class Filter:
                     self.delayed += 1
                     return rule.delay_ns
         return 0
+
+    def should_duplicate(self, channel: "XrdmaChannel",
+                         completion: "Completion") -> bool:
+        for rule in self.rules:
+            if rule.matches(channel) and rule.duplicate_probability > 0 \
+                    and self.rng.bernoulli(rule.duplicate_probability):
+                self.duplicated += 1
+                return True
+        return False

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.analysis.invariants import current as _invariant_registry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.stats import NetStats
     from repro.sim.engine import Simulator
@@ -62,6 +64,12 @@ class Monitor:
         self.series[f"{prefix}.rx_bytes"].append((now, rx_bytes))
         qp_count = len(ctx.channels) + len(ctx.qpcache)
         self.series[f"{prefix}.qp_count"].append((now, qp_count))
+        # Count-mode invariant checking (Sec. VI-C): violations surface as
+        # a crucial index in the production time series.
+        registry = _invariant_registry()
+        if registry is not None:
+            self.series[f"{prefix}.invariant_violations"].append(
+                (now, registry.total))
 
     def sample_fabric(self) -> None:
         """Record the cluster-wide crucial indexes."""

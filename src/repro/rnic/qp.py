@@ -142,6 +142,14 @@ class QueuePair:
     # ------------------------------------------------------------ state mgmt
     def transition(self, new_state: QpState) -> None:
         if new_state not in _TRANSITIONS[self.state]:
+            # Recorded for the sanitizer's counters; QpStateError is
+            # already the fatal escalation on this path.  Imported here:
+            # a module-level import would cycle (rnic.qp ← repro.analysis
+            # ← repro.xrdma ← rnic.qp), and this branch is cold.
+            from repro.analysis.invariants import note as _invariant_note
+            _invariant_note(
+                "qp.illegal_transition",
+                f"qpn={self.qpn} {self.state.name} → {new_state.name}")
             raise QpStateError(
                 f"illegal QP transition {self.state.name} → {new_state.name}")
         self.state = new_state

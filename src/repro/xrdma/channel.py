@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
+from repro.analysis.invariants import check as _invariant
 from repro.rnic.qp import QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest
 from repro.xrdma.flowctl import FlowController
@@ -139,6 +140,8 @@ class XrdmaChannel:
                and self.state is ChannelState.READY):
             msg = self.pending_send.popleft()
             seq = self.window.next_seq()
+            _invariant(seq not in self.sent, "channel.seq_reuse",
+                       lambda: f"channel {self.channel_id} seq {seq}")
             header = self._make_header(msg, seq)
             self.sent[seq] = msg
             msg.header = header
@@ -228,18 +231,31 @@ class XrdmaChannel:
         if header.kind is MessageKind.CLOSE:
             yield from self.ctx.close_channel(self, notify=False)
             return
+        # A retransmitted header must be idempotent: the window absorbs
+        # (or upgrades) it, but starting a second rendezvous would leak
+        # the first read's buffer, and re-staging delivery would strand a
+        # stale entry behind the delivery cursor forever.
+        duplicate = self.window.is_duplicate(header.seq)
         self.window.on_arrival(header.seq, complete=not header.large)
         if header.large:
-            yield from self._start_rendezvous(header)
+            if not duplicate:
+                yield from self._start_rendezvous(header)
         else:
-            # Delivery is strictly in sequence order: a small message must
-            # not overtake an earlier large one whose read is in flight.
-            self._pending_delivery[header.seq] = (header, self.ctx.sim.now)
+            if not duplicate:
+                # Delivery is strictly in sequence order: a small message
+                # must not overtake an earlier large one whose read is in
+                # flight.
+                self._pending_delivery[header.seq] = (header,
+                                                      self.ctx.sim.now)
             self._flush_deliveries()
         yield from self._post_arrival_duties()
 
     def _flush_deliveries(self) -> None:
         """Hand the app every message inside the window's ready prefix."""
+        _invariant(self._next_deliver_seq <= self.window.rta,
+                   "channel.delivery_ahead_of_rta",
+                   lambda: f"next_deliver={self._next_deliver_seq} "
+                           f"rta={self.window.rta}")
         while self._next_deliver_seq < self.window.rta:
             entry = self._pending_delivery.pop(self._next_deliver_seq, None)
             self._next_deliver_seq += 1
@@ -274,6 +290,9 @@ class XrdmaChannel:
 
     def _start_rendezvous(self, header: XrdmaHeader):
         """Receiver-side on-demand buffer + fragmented RDMA Read."""
+        _invariant(header.seq not in self._rendezvous,
+                   "channel.duplicate_rendezvous",
+                   lambda: f"channel {self.channel_id} seq {header.seq}")
         buffer = yield from self.ctx.memcache.alloc(header.payload_size)
         sizes = self.flow.fragment_sizes(header.payload_size)
         rendezvous = _Rendezvous(

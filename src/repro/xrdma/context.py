@@ -209,9 +209,17 @@ class XrdmaContext:
         # An errored QP cannot be recycled; destroy it asynchronously.
         self.sim.spawn(self._destroy_qp(channel.qp),
                        name=f"{self.name}:destroy")
+        # drop_all() just returned the dead channel's budget slots; hand
+        # them to waiting channels now — their own completions may never
+        # come (all of their work could be queued behind the budget).
+        self.sim.spawn(self._drain_budget(), name=f"{self.name}:drain")
 
     def _destroy_qp(self, qp):
         yield self.verbs.destroy_qp(qp)
+
+    def _drain_budget(self):
+        yield self.sim.timeout(0)   # let mark_broken unwind first
+        yield from self.wr_budget.drain()
 
     # ============================================================= Table I
     def send_msg(self, channel: XrdmaChannel, payload_size: int,
@@ -391,13 +399,16 @@ class XrdmaContext:
         if entry is not None and channel.state is ChannelState.READY:
             _, buffer = entry
             yield from self._post_recv(channel, buffer)
-        if self.filter is not None and self.filter.should_drop(channel,
-                                                               completion):
-            return
         if self.filter is not None:
+            if self.filter.should_drop(channel, completion):
+                return
             delay = self.filter.delay_for(channel, completion)
             if delay:
                 yield self.sim.timeout(delay)
+            if self.filter.should_duplicate(channel, completion):
+                # Middleware-level retransmit: the same header arrives
+                # twice (the channel must treat it idempotently).
+                yield from channel.on_receive(completion)
         yield from channel.on_receive(completion)
 
     def _handle_send_completion(self, completion: Completion):

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
+from repro.analysis.invariants import check as _invariant
 from repro.rnic.wqe import WorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,22 +41,52 @@ class WrBudget:
         self.capacity = capacity
         self.in_use = 0
         self._waiters: Deque["FlowController"] = deque()
+        #: every controller sharing this budget (invariant accounting:
+        #: ``in_use == Σ controller.budget_held`` at all times)
+        self.controllers: List["FlowController"] = []
 
     @property
     def available(self) -> bool:
         return self.in_use < self.capacity
+
+    def acquire(self) -> None:
+        """Charge one slot (caller checked ``available``)."""
+        self.in_use += 1
+        _invariant(self.in_use <= self.capacity, "flowctl.budget_overcommit",
+                   lambda: f"in_use={self.in_use} capacity={self.capacity}")
+
+    def release(self) -> None:
+        """Return one slot; underflow is a protocol bug, not a clamp."""
+        self.in_use -= 1
+        if not _invariant(self.in_use >= 0, "flowctl.budget_underflow",
+                          lambda: f"in_use={self.in_use}"):
+            self.in_use = 0  # contain in count mode
 
     def enqueue_waiter(self, controller: "FlowController") -> None:
         if controller not in self._waiters:
             self._waiters.append(controller)
 
     def drain(self):
-        """Generator: grant freed slots to waiting controllers, FIFO."""
+        """Generator: grant freed slots to waiting controllers, FIFO.
+
+        A controller refused on its *per-channel* cap (not the budget)
+        stays registered as a waiter — it must not lose its place just
+        because its own pipeline is momentarily full — but is not polled
+        again within this pass, or the loop would spin on it.
+        """
+        deferred: List["FlowController"] = []
         while self.available and self._waiters:
             controller = self._waiters.popleft()
             issued = yield from controller.admit_queued()
-            if controller.queued and issued:
+            if not controller.queued:
+                continue
+            if issued:
                 self._waiters.append(controller)
+            else:
+                deferred.append(controller)
+        for controller in deferred:
+            if controller.queued:
+                self.enqueue_waiter(controller)
 
 
 class FlowController:
@@ -72,9 +103,18 @@ class FlowController:
         self.enabled = enabled
         self.budget = budget
         self.outstanding = 0
+        #: budget slots currently charged to this channel.  Tracked apart
+        #: from ``outstanding`` so toggling ``enabled`` mid-flight (or a
+        #: teardown racing completions) can never skew the shared budget.
+        self.budget_held = 0
+        #: in-flight WRs whose slots drop_all() already returned; their
+        #: late completions must not release (or admit) anything again.
+        self._abandoned = 0
         self._queue: Deque[WorkRequest] = deque()
         self.queued_total = 0
         self.fragments_total = 0
+        if budget is not None:
+            budget.controllers.append(self)
 
     # ---------------------------------------------------------------- sizing
     def fragment_sizes(self, length: int) -> List[int]:
@@ -110,7 +150,8 @@ class FlowController:
     def _issue(self, wr: WorkRequest):
         self.outstanding += 1
         if self.enabled and self.budget is not None:
-            self.budget.in_use += 1
+            self.budget.acquire()
+            self.budget_held += 1
         yield self.verbs.post_send(self.qp, wr)
 
     def admit_queued(self):
@@ -123,9 +164,19 @@ class FlowController:
     def on_completion(self):
         """Generator: a data WR completed; admit queued work (here first,
         then any channel waiting on the shared budget)."""
-        self.outstanding = max(0, self.outstanding - 1)
-        if self.enabled and self.budget is not None:
-            self.budget.in_use = max(0, self.budget.in_use - 1)
+        if self._abandoned:
+            # A WR drop_all() already accounted for: its slot went back to
+            # the budget at teardown; releasing again would over-admit.
+            self._abandoned -= 1
+            return
+        self.outstanding -= 1
+        if not _invariant(self.outstanding >= 0,
+                          "flowctl.outstanding_underflow",
+                          lambda: f"qpn={self.qp.qpn}"):
+            self.outstanding = 0
+        if self.budget is not None and self.budget_held > 0:
+            self.budget_held -= 1
+            self.budget.release()
         while (yield from self.admit_queued()):
             pass
         if self.enabled and self.budget is not None:
@@ -138,14 +189,25 @@ class FlowController:
         return len(self._queue)
 
     def drop_all(self) -> int:
-        """Channel teardown: abandon queued WRs and release budget slots."""
+        """Channel teardown: abandon queued WRs and release every held
+        budget slot exactly once.
+
+        The slots go back now (the channel is dead; holding them would
+        starve live channels), and the still-in-flight WRs are remembered
+        so their late completions do not release a second time — a double
+        release lets ``budget.in_use`` drift below the true holdings and
+        over-admit.
+        """
         dropped = len(self._queue)
         self._queue.clear()
-        if self.enabled and self.budget is not None:
-            self.budget.in_use = max(0, self.budget.in_use - self.outstanding)
+        if self.budget is not None:
+            while self.budget_held:
+                self.budget_held -= 1
+                self.budget.release()
             try:
                 self.budget._waiters.remove(self)
             except ValueError:
                 pass
+        self._abandoned += self.outstanding
         self.outstanding = 0
         return dropped

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.analysis.invariants import check as _invariant
 from repro.memory.host import AllocMode, HostMemory
 from repro.rnic.mr import AccessFlags, MemoryRegion
 
@@ -68,6 +69,16 @@ class _Arena:
 
     def release(self, addr: int, size: int) -> None:
         self.used_bytes -= size
+        if not _invariant(self.used_bytes >= 0, "memcache.used_underflow",
+                          lambda: f"used_bytes={self.used_bytes} after "
+                                  f"release({addr:#x}, {size})"):
+            self.used_bytes = 0
+        _invariant(self.mr.addr <= addr
+                   and addr + size <= self.mr.addr + self.mr.length,
+                   "memcache.release_out_of_bounds",
+                   lambda: f"release({addr:#x}, {size}) outside arena "
+                           f"[{self.mr.addr:#x}, "
+                           f"{self.mr.addr + self.mr.length:#x})")
         self.free.append((addr, size))
         self._coalesce()
 
@@ -162,6 +173,13 @@ class MemCache:
             raise MemCacheError(
                 f"double free or foreign buffer id={buffer.buffer_id}")
         arena, _ = entry
+        if arena not in self._arenas:
+            # Releasing into a reclaimed MR would silently skew the
+            # Fig. 11c occupancy curves (the arena is no longer summed).
+            raise MemCacheError(
+                f"buffer id={buffer.buffer_id} belongs to an arena already "
+                "reclaimed by shrink(); release-after-reclaim corrupts "
+                "the occupancy accounting")
         arena.release(buffer.addr, buffer.size)
 
     def check_access(self, addr: int, size: int) -> bool:
@@ -174,8 +192,15 @@ class MemCache:
 
     # ------------------------------------------------------------- lifecycle
     def shrink(self) -> int:
-        """Deregister fully idle arenas (keeping one warm); returns count."""
-        reclaimable = [a for a in self._arenas if a.idle]
+        """Deregister fully idle arenas (keeping one warm); returns count.
+
+        An arena still backing live buffers is never reclaimed, even if
+        its byte accounting claims idleness — the handed-out buffers are
+        the ground truth.
+        """
+        live_arenas = {id(arena) for arena, _ in self._live.values()}
+        reclaimable = [a for a in self._arenas
+                       if a.idle and id(a) not in live_arenas]
         keep_one = 1 if len(reclaimable) == len(self._arenas) else 0
         victims = reclaimable[keep_one:] if keep_one else reclaimable
         for arena in victims:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis.invariants import check as _invariant
+
 
 class WindowFull(RuntimeError):
     """No in-flight slot available (callers should queue, not drop)."""
@@ -59,6 +61,7 @@ class SeqAckWindow:
                 f"in_flight={self.in_flight} depth={self.depth}")
         seq = self.seq
         self.seq += 1
+        self._audit()
         return seq
 
     def on_ack(self, ack: int) -> int:
@@ -69,6 +72,7 @@ class SeqAckWindow:
             raise ValueError(f"ack {ack} beyond seq {self.seq}")
         newly = ack - self.acked
         self.acked = ack
+        self._audit()
         return newly
 
     # ---------------------------------------------------------- receiver ops
@@ -78,12 +82,25 @@ class SeqAckWindow:
         Large messages arrive incomplete; :meth:`on_complete` follows when
         the rendezvous read finishes.
         """
-        if seq < self.rta or seq in self._pending_rx:
-            return  # duplicate delivery (middleware-level retransmit)
+        if seq < self.rta:
+            return  # stale duplicate: already part of the ready prefix
+        if seq in self._pending_rx:
+            # Middleware-level retransmit.  The retry may carry the
+            # completeness the original lacked (payload whole by the time
+            # it was resent): upgrade the flag — never downgrade — or the
+            # message could never become ready.
+            if complete and not self._pending_rx[seq]:
+                self._pending_rx[seq] = True
+                self._advance_rta()
+            return
         self._pending_rx[seq] = complete
         if seq >= self.wta:
             self.wta = seq + 1
         self._advance_rta()
+
+    def is_duplicate(self, seq: int) -> bool:
+        """Whether ``seq`` was already seen (delivered or still pending)."""
+        return seq < self.rta or seq in self._pending_rx
 
     def on_complete(self, seq: int) -> None:
         """The payload for ``seq`` is now fully received/processed."""
@@ -98,6 +115,7 @@ class SeqAckWindow:
         while self._pending_rx.get(self.rta, False):
             del self._pending_rx[self.rta]
             self.rta += 1
+        self._audit()
 
     # -------------------------------------------------------------- ack duty
     def ack_to_send(self) -> int:
@@ -107,10 +125,23 @@ class SeqAckWindow:
     def note_ack_sent(self) -> None:
         """Record that the current rta has been transmitted to the peer."""
         self.sent_ack = self.rta
+        self._audit()
 
     def unacked_arrivals(self) -> int:
         """Messages consumed locally but not yet acked to the peer."""
         return self.rta - self.sent_ack
+
+    # ------------------------------------------------------------ invariants
+    def _audit(self) -> None:
+        """Inline sanitizer hooks after every state mutation."""
+        _invariant(self.acked <= self.seq, "seqack.acked_gt_seq",
+                   lambda: f"acked={self.acked} seq={self.seq}")
+        _invariant(self.in_flight <= self.depth, "seqack.in_flight_bounds",
+                   lambda: f"in_flight={self.in_flight} depth={self.depth}")
+        _invariant(self.rta <= self.wta, "seqack.rta_gt_wta",
+                   lambda: f"rta={self.rta} wta={self.wta}")
+        _invariant(self.sent_ack <= self.rta, "seqack.sent_ack_gt_rta",
+                   lambda: f"sent_ack={self.sent_ack} rta={self.rta}")
 
     # ------------------------------------------------------------- deadlock
     def stalled(self) -> bool:

@@ -2,7 +2,22 @@
 
 import pytest
 
+from repro.analysis import invariants
 from repro.cluster import Cluster, Host, build_cluster  # noqa: F401 (re-export)
+
+
+@pytest.fixture(autouse=True)
+def fatal_invariants():
+    """Every test runs under a fatal-mode invariant registry.
+
+    Any protocol invariant tripped mid-scenario raises
+    :class:`~repro.analysis.invariants.InvariantError` (an AssertionError
+    subclass) right at the offending call site instead of surfacing as a
+    confusing downstream failure.
+    """
+    registry = invariants.install(mode="fatal")
+    yield registry
+    invariants.uninstall()
 
 
 def run_process(cluster: Cluster, generator, limit=None):

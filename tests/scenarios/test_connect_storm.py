@@ -1,0 +1,56 @@
+"""Connect storm with mid-storm failures (CM + QP-cache churn).
+
+A burst of connects — some to a dead port — followed by traffic on every
+surviving channel while one pair is killed mid-flight.  Survivors must
+deliver everything; teardown and timeouts must leave exact accounting.
+"""
+
+from repro.sim import MILLIS, SECONDS
+from repro.verbs.cm import ConnectError
+from tests.conftest import run_process
+from tests.scenarios.conftest import assert_quiescent, close_channels, settle
+from tests.xrdma.conftest import make_context
+
+
+def test_connect_storm_with_failures(cluster):
+    client = make_context(cluster, 0)
+    server = make_context(cluster, 1)
+    accepted = server.listen(9400)
+
+    def storm():
+        channels = []
+        failures = 0
+        for i in range(9):
+            if i % 3 == 2:
+                try:                      # nobody listens on this port
+                    yield from client.connect(1, 9999, timeout_ns=5 * MILLIS)
+                except ConnectError:
+                    failures += 1
+            else:
+                channels.append((yield from client.connect(1, 9400)))
+        return channels, failures
+
+    channels, failures = run_process(cluster, storm(), limit=30 * SECONDS)
+    assert failures == 3
+    assert len(channels) == 6
+    # The single client connects sequentially, so accepts pair up in order.
+    srv_channels = [accepted.get_nowait() for _ in channels]
+
+    n = 10
+    for channel in channels:
+        for _ in range(n):
+            client.send_msg(channel, 1024)
+    settle(cluster, 100_000)
+    # Mid-storm casualty while every channel competes for the shared
+    # 4-slot budget.
+    channels[2].mark_broken("injected mid-storm failure")
+    srv_channels[2].mark_broken("peer injected mid-storm failure")
+    settle(cluster, SECONDS)
+
+    for index, srv_channel in enumerate(srv_channels):
+        if index != 2:
+            assert srv_channel.stats["rx_msgs"] == n, f"channel {index}"
+
+    close_channels(cluster, client)
+    settle(cluster)
+    assert_quiescent(client, server)

@@ -65,6 +65,53 @@ def test_nop_fires_when_window_stalls(cluster):
     assert nops + acks > 0
 
 
+def test_nop_reserved_slot_breaks_full_window_deadlock(cluster):
+    """Both windows wedge completely; one NOP through the reserved slot
+    un-deadlocks the whole exchange (Sec. V-B).
+
+    Timers are effectively disabled so the stall persists until we drive
+    one deadlock round by hand — isolating the reserved-slot mechanism
+    from the periodic machinery the other tests already cover.
+    """
+    def frozen_timers():
+        return XrdmaConfig(inflight_depth=4,
+                           deadlock_check_intv_ms=1e9,
+                           keepalive_intv_ms=1e9)
+
+    client, server, client_ch, server_ch = connect_pair(
+        cluster, client_config=frozen_timers(),
+        server_config=frozen_timers())
+    n = 8
+    for _ in range(n):
+        client.send_msg(client_ch, 256)
+        server.send_msg(server_ch, 256)
+    cluster.sim.run(until=cluster.sim.now + 50 * MILLIS)
+
+    # The genuine deadlock: both windows closed (depth-1 in flight), both
+    # backlogs non-empty, so the standalone-ACK fast path (which needs an
+    # empty send queue) is suppressed on both sides.  Nothing moves.
+    assert client_ch.window.stalled() and server_ch.window.stalled()
+    assert client_ch.pending_send and server_ch.pending_send
+    assert client_ch.stats["tx_msgs"] < n
+    assert client_ch.needs_nop()
+    assert client_ch.stats["nops_sent"] == 0
+
+    def breaker():
+        yield from client._deadlock_round()
+
+    run_process(cluster, breaker(), limit=SECONDS)
+    assert client_ch.stats["nops_sent"] == 1
+
+    # The NOP's piggybacked ack reopens the server's window; from there
+    # acks ride the reverse data and the backlog drains on both sides.
+    cluster.sim.run(until=cluster.sim.now + SECONDS)
+    assert client_ch.stats["tx_msgs"] == n
+    assert server_ch.stats["tx_msgs"] == n
+    assert client_ch.stats["rx_msgs"] == n
+    assert server_ch.stats["rx_msgs"] == n
+    assert cluster.stats.rnr_naks == 0
+
+
 def test_window_stall_detection_predicate(cluster):
     client, server, client_ch, server_ch = connect_pair(
         cluster, client_config=tiny_window(), server_config=tiny_window())

@@ -143,3 +143,62 @@ def test_disabled_controller_never_queues(cluster):
 def test_budget_validation():
     with pytest.raises(ValueError):
         WrBudget(0)
+
+
+def test_drop_all_then_late_completions_do_not_double_release(cluster):
+    """Teardown races in-flight WRs: drop_all() returns the slots, and the
+    late completions must not release them a second time (that would let
+    the budget drift below the true holdings and over-admit)."""
+    conn_a, _ = establish(cluster, 0, 1, service_port=7100)
+    conn_b, _ = establish(cluster, 0, 1, service_port=7101)
+    verbs = cluster.host(0).verbs
+    budget = WrBudget(2)
+    flow_a = FlowController(verbs, conn_a.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+    flow_b = FlowController(verbs, conn_b.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+
+    def fill():
+        for _ in range(2):
+            yield from flow_a.post(_wr())
+
+    run_process(cluster, fill(), limit=SECONDS)
+    assert budget.in_use == 2
+    flow_a.drop_all()                     # channel torn down, WRs in flight
+    assert budget.in_use == 0
+
+    def race():
+        for _ in range(2):                # another channel takes the slots
+            yield from flow_b.post(_wr())
+        for _ in range(2):                # A's in-flight WRs complete late
+            yield from flow_a.on_completion()
+
+    run_process(cluster, race(), limit=SECONDS)
+    assert budget.in_use == 2             # B's slots are still charged
+    assert flow_b.outstanding == 2
+    assert flow_a.outstanding == 0
+
+
+def test_drain_keeps_cap_refused_waiter_queued(cluster):
+    """A waiter refused on its *per-channel* cap (not the budget) must keep
+    its place in the budget's FIFO; dropping it strands its queued WRs."""
+    conn_a, _ = establish(cluster, 0, 1, service_port=7100)
+    conn_b, _ = establish(cluster, 0, 1, service_port=7101)
+    verbs = cluster.host(0).verbs
+    budget = WrBudget(2)
+    flow_a = FlowController(verbs, conn_a.qp, max_outstanding=1,
+                            fragment_bytes=64 * 1024, budget=budget)
+    flow_b = FlowController(verbs, conn_b.qp, max_outstanding=8,
+                            fragment_bytes=64 * 1024, budget=budget)
+
+    def scenario():
+        yield from flow_a.post(_wr())     # slot 1; A now at its channel cap
+        yield from flow_a.post(_wr())     # queued at A; A joins the waiters
+        yield from flow_b.post(_wr())     # slot 2
+        yield from flow_b.on_completion()  # frees slot 2 and drains
+
+    run_process(cluster, scenario(), limit=SECONDS)
+    # The drain polled A, which refused on max_outstanding=1.  A must
+    # still be registered for the next freed slot.
+    assert flow_a.queued == 1
+    assert flow_a in budget._waiters

@@ -125,6 +125,35 @@ def test_isolated_mode_detects_out_of_bounds(cluster):
     assert cache.out_of_bound_hits == 1
 
 
+def test_shrink_never_reclaims_arena_with_live_buffers(setup):
+    cluster, cache = setup
+    hold = _alloc(cluster, cache, 1 << 20)     # arena 1, fully busy
+    live = _alloc(cluster, cache, 4096)        # arena 2
+    arena = cache._live[live.buffer_id][0]
+    # A byte-accounting bug (or a release racing teardown) can make the
+    # arena *look* idle while a buffer is still handed out.  The live map
+    # is the ground truth and must veto reclamation.
+    arena.used_bytes = 0
+    arena.free = [(arena.mr.addr, arena.mr.length)]
+    assert cache.shrink() == 0
+    assert arena in cache._arenas
+    cache._live.pop(live.buffer_id)            # discard the corrupted pair
+    cache.free(hold)
+
+
+def test_free_into_reclaimed_arena_rejected(setup):
+    cluster, cache = setup
+    hold = _alloc(cluster, cache, 1 << 20)     # arena 1, fully busy
+    live = _alloc(cluster, cache, 4096)        # arena 2
+    # Simulate the failure free() must defend against: the buffer's arena
+    # is gone (deregistered) while the buffer is still out.  Releasing
+    # into it would silently skew the Fig. 11c occupancy accounting.
+    arena = cache._live[live.buffer_id][0]
+    cache._arenas.remove(arena)
+    with pytest.raises(MemCacheError):
+        cache.free(live)
+
+
 def test_prewarm_registers_up_front(setup):
     cluster, cache = setup
 

@@ -107,6 +107,35 @@ def test_depth_validation():
         SeqAckWindow(1)
 
 
+def test_retransmit_upgrades_completeness():
+    window = SeqAckWindow(8)
+    window.on_arrival(0, complete=False)   # large message, read pending
+    assert window.rta == 0
+    # A middleware-level retransmit arrives *complete* (the payload was
+    # whole by the time the sender retried): the flag must upgrade, or
+    # the message never becomes ready and rta wedges forever.
+    window.on_arrival(0, complete=True)
+    assert window.rta == 1
+
+
+def test_retransmit_never_downgrades_completeness():
+    window = SeqAckWindow(8)
+    window.on_arrival(1, complete=True)    # gap at 0 keeps it pending
+    window.on_arrival(1, complete=False)   # stale duplicate of the header
+    window.on_arrival(0, complete=True)
+    assert window.rta == 2                 # seq 1 stayed complete
+
+
+def test_is_duplicate_tracks_prefix_and_pending():
+    window = SeqAckWindow(8)
+    assert not window.is_duplicate(0)
+    window.on_arrival(0, complete=True)
+    assert window.is_duplicate(0)          # below rta now
+    window.on_arrival(2, complete=False)
+    assert window.is_duplicate(2)          # pending, out of order
+    assert not window.is_duplicate(1)
+
+
 # ---------------------------------------------------------------- properties
 
 @given(st.lists(st.integers(min_value=0, max_value=30), max_size=60),
