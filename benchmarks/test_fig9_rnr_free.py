@@ -9,7 +9,7 @@ verbs raise RNR NAKs; the same burst through X-RDMA channels raises none.
 import pytest
 
 from repro.cluster import build_cluster
-from repro.rnic import Opcode, WorkRequest
+from repro.rnic import Opcode, QpStateError, WorkRequest
 from repro.sim import MICROS, MILLIS, SECONDS
 
 from .conftest import emit
@@ -43,7 +43,7 @@ def run_raw_rdma():
                 try:
                     yield client.verbs.post_send(conn_c.qp, WorkRequest(
                         opcode=Opcode.SEND, length=PAYLOAD, signaled=False))
-                except Exception:  # noqa: BLE001 - SQ full under pressure
+                except QpStateError:    # SQ full under pressure
                     yield sim.timeout(100 * MICROS)
             yield sim.timeout(2 * MILLIS)
 

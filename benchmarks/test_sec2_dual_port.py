@@ -39,6 +39,8 @@ def aggregate_gbps(nic_ports: int) -> float:
         while done < WRITES:
             done += len(conn_c.qp.send_cq.poll())
             yield sim.timeout(10_000)
+        yield host.verbs.dereg_mr(conn_s.qp.pd, mr)
+        host.memory.free(buf.addr)
 
     t0 = sim.now
     procs = [sim.spawn(stream(conn_c, conn_s, dst))

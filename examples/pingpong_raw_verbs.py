@@ -32,8 +32,9 @@ def main():
     def server_loop():
         # Register a buffer pool by hand.
         pool = server_host.memory.alloc(RECV_DEPTH * (SIZE + 64))
-        yield server_host.verbs.reg_mr(server_pd, pool.addr, pool.length,
-                                       AccessFlags.all_remote())
+        pool_mr = yield server_host.verbs.reg_mr(server_pd, pool.addr,
+                                                 pool.length,
+                                                 AccessFlags.all_remote())
         conn = yield listener.accepted.get()
         qp = conn.qp
         # Pre-post the receive ring.
@@ -58,6 +59,9 @@ def main():
                 yield server_host.verbs.post_send(qp, WorkRequest(
                     opcode=Opcode.SEND, length=completion.byte_len,
                     signaled=False))
+        # Teardown is part of the ritual too: deregister, then free.
+        yield server_host.verbs.dereg_mr(server_pd, pool_mr)
+        server_host.memory.free(pool.addr)
 
     # ---- client side: PD, CQ, MR, connect, ping loop ---------------------
     client_pd = client_host.verbs.alloc_pd()
@@ -65,13 +69,13 @@ def main():
 
     def client_loop():
         send_buf = client_host.memory.alloc(SIZE)
-        yield client_host.verbs.reg_mr(client_pd, send_buf.addr,
-                                       send_buf.length,
-                                       AccessFlags.all_remote())
+        send_mr = yield client_host.verbs.reg_mr(client_pd, send_buf.addr,
+                                                 send_buf.length,
+                                                 AccessFlags.all_remote())
         recv_pool = client_host.memory.alloc(RECV_DEPTH * (SIZE + 64))
-        yield client_host.verbs.reg_mr(client_pd, recv_pool.addr,
-                                       recv_pool.length,
-                                       AccessFlags.all_remote())
+        recv_mr = yield client_host.verbs.reg_mr(client_pd, recv_pool.addr,
+                                                 recv_pool.length,
+                                                 AccessFlags.all_remote())
         conn = yield from client_host.cm.connect(
             1, 7000, client_pd, client_cq, client_cq)
         qp = conn.qp
@@ -94,6 +98,11 @@ def main():
                 opcode=Opcode.RECV, length=SIZE + 64,
                 local_addr=completions[0].addr))
             latencies.append((sim.now - t0) / 2)
+        # Release in reverse order of the setup ritual.
+        yield client_host.verbs.dereg_mr(client_pd, recv_mr)
+        yield client_host.verbs.dereg_mr(client_pd, send_mr)
+        client_host.memory.free(recv_pool.addr)
+        client_host.memory.free(send_buf.addr)
 
     sim.spawn(server_loop())
     done = sim.spawn(client_loop())

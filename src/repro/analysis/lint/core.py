@@ -1,0 +1,283 @@
+"""The xr-lint engine: rule registry, suppressions, file walking.
+
+A :class:`Rule` inspects one parsed module and yields :class:`Finding`
+objects.  The :class:`LintRunner` parses each file once, hands the same
+tree to every enabled rule, and drops findings suppressed by
+``# xr-lint: disable=...`` comments.  Rules never import the modules they
+check — analysis is purely syntactic, so the linter can run over broken
+or import-cycle-ridden code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Type)
+
+#: matches the suppression comment anywhere in a physical line
+_SUPPRESS_RE = re.compile(
+    r"#\s*xr-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\- ]+)")
+
+#: directories never walked
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist",
+              ".mypy_cache", ".ruff_cache", ".pytest_cache", "results"}
+
+#: Per-tree rule exemptions (the flake8 per-file-ignores analogue): any
+#: path with one of these directory components skips the listed rules.
+#: Unit tests deliberately exercise bare acquire paths — the cluster
+#: fixture owns teardown — so the leak-pairing rules stay out of tests/.
+PATH_RULE_EXEMPTIONS: Dict[str, frozenset] = {
+    "tests": frozenset({"memcache-leak", "qp-leak"}),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str            #: rule name, e.g. ``wall-clock``
+    code: str            #: stable code, e.g. ``XR101``
+    path: str            #: file the finding is in
+    line: int            #: 1-based line
+    col: int             #: 0-based column
+    message: str         #: human explanation with the offending expression
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check().
+
+    ``name`` is the suppression/selection handle (kebab-case), ``code`` a
+    stable short identifier grouped by family (XR1xx determinism, XR2xx
+    resource pairing, XR3xx sim hygiene).
+    """
+
+    name: str = ""
+    code: str = ""
+    summary: str = ""
+
+    def check(self, tree: ast.Module, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST,
+                message: str) -> Finding:
+        return Finding(rule=self.name, code=self.code, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), message=message)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name or not cls.code:
+        raise ValueError(f"rule {cls.__name__} needs name and code")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, ordered by code."""
+    return sorted(_REGISTRY.values(), key=lambda cls: cls.code)
+
+
+def get_rule(name: str) -> Type[Rule]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {name!r}; known rules: {known}") from None
+
+
+@dataclass
+class FileContext:
+    """Per-file state shared by every rule: source, imports, suppressions."""
+
+    path: str
+    source: str
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    file_suppressions: Set[str] = field(default_factory=set)
+    #: local name -> dotted module/object it refers to (import tracking)
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.Module) -> "FileContext":
+        ctx = cls(path=path, source=source)
+        ctx._scan_suppressions()
+        ctx._scan_imports(tree)
+        return ctx
+
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            scope, names = match.groups()
+            rules = {name.strip() for name in names.split(",") if name.strip()}
+            if scope == "disable-file":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def _scan_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds a.b.
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    # ----------------------------------------------------------- resolution
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain with imports resolved.
+
+        ``np.random.default_rng`` → ``numpy.random.default_rng`` when the
+        file holds ``import numpy as np``.  Returns None for non-name
+        expressions (calls, subscripts, ...).
+        """
+        name, _ = self.resolved_name(node)
+        return name
+
+    def resolved_name(self, node: ast.AST) -> Tuple[Optional[str], bool]:
+        """Like :meth:`qualified_name`, plus whether the chain's root went
+        through an import in this file.
+
+        Module-dotted patterns (``time.sleep``, ``requests.get``) must only
+        match import-resolved names — a local list named ``requests`` makes
+        ``requests.append(...)`` look like the HTTP library otherwise.
+        Undotted builtins (``input``) resolve with ``False``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None, False
+        parts.append(node.id)
+        parts.reverse()
+        root = self.imports.get(parts[0])
+        if root is not None:
+            parts[0:1] = root.split(".")
+        return ".".join(parts), root is not None
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_suppressions \
+                or "all" in self.file_suppressions:
+            return True
+        rules = self.line_suppressions.get(finding.line)
+        return bool(rules) and (finding.rule in rules or "all" in rules)
+
+
+class LintRunner:
+    """Parses files and runs every enabled rule over them."""
+
+    def __init__(self, rules: Optional[Sequence[Type[Rule]]] = None,
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None,
+                 path_exemptions: Optional[Dict[str, frozenset]] = None):
+        self.path_exemptions = (PATH_RULE_EXEMPTIONS
+                                if path_exemptions is None
+                                else path_exemptions)
+        chosen = list(rules) if rules is not None else all_rules()
+        if select:
+            wanted = set(select)
+            for name in wanted:
+                get_rule(name)  # validate
+            chosen = [cls for cls in chosen if cls.name in wanted]
+        if ignore:
+            dropped = set(ignore)
+            for name in dropped:
+                get_rule(name)  # validate
+            chosen = [cls for cls in chosen if cls.name not in dropped]
+        self.rules: List[Rule] = [cls() for cls in chosen]
+        self.errors: List[str] = []     #: files that failed to parse
+
+    # ------------------------------------------------------------- running
+    def run_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Lint one in-memory module; the workhorse for file and fixture
+        linting alike."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.errors.append(f"{path}: syntax error: {exc.msg} "
+                               f"(line {exc.lineno})")
+            return []
+        ctx = FileContext.build(path, source, tree)
+        exempt = self._exempt_rules(path)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if rule.name in exempt:
+                continue
+            for finding in rule.check(tree, ctx):
+                if not ctx.suppressed(finding):
+                    findings.append(finding)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def _exempt_rules(self, path: str) -> Set[str]:
+        exempt: Set[str] = set()
+        for part in Path(path).parts:
+            exempt |= self.path_exemptions.get(part, frozenset())
+        return exempt
+
+    def run_file(self, path: Path) -> List[Finding]:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            self.errors.append(f"{path}: unreadable: {exc}")
+            return []
+        return self.run_source(source, str(path))
+
+    def run_paths(self, paths: Iterable[str]) -> List[Finding]:
+        """Lint every ``*.py`` under each path (files accepted directly)."""
+        findings: List[Finding] = []
+        for raw in paths:
+            root = Path(raw)
+            if root.is_file():
+                findings.extend(self.run_file(root))
+                continue
+            if not root.is_dir():
+                self.errors.append(f"{root}: no such file or directory")
+                continue
+            for file in sorted(root.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in file.parts):
+                    continue
+                findings.extend(self.run_file(file))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+
+# --------------------------------------------------------------- AST helpers
+def call_name(ctx: FileContext, node: ast.Call) -> Optional[str]:
+    """Resolved dotted name of a call's callee, or None."""
+    return ctx.qualified_name(node.func)
+
+
+def contains_id_call(node: ast.AST) -> bool:
+    """True if any sub-expression is a call to the ``id`` builtin."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name) \
+                and sub.func.id == "id":
+            return True
+    return False
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/async-function definition, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,49 @@
+"""Finding renderers: terminal text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+from repro.analysis.lint.core import Finding
+
+
+def render_text(findings: Sequence[Finding],
+                errors: Iterable[str] = ()) -> str:
+    """flake8-style one-line-per-finding report with a summary footer."""
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                     f"{finding.code}[{finding.rule}] {finding.message}")
+    for error in errors:
+        lines.append(f"ERROR {error}")
+    if findings:
+        by_rule = Counter(f"{f.code}[{f.rule}]" for f in findings)
+        breakdown = ", ".join(f"{name}×{count}"
+                              for name, count in sorted(by_rule.items()))
+        lines.append(f"xr-lint: {len(findings)} finding(s) — {breakdown}")
+    else:
+        lines.append("xr-lint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                errors: Iterable[str] = ()) -> str:
+    """Stable JSON for CI annotation tooling."""
+    payload = {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "code": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "errors": list(errors),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -119,7 +119,9 @@ class ErpcServer:
             return
         try:
             body, nbytes = handler(envelope.body)
-        except Exception as exc:  # noqa: BLE001 - remote errors propagate
+        except Exception as exc:  # xr-lint: disable=swallowed-error
+            # Intentional RPC-server semantics: a handler error becomes an
+            # error reply to the caller, not a server crash.
             self.errors_returned += 1
             self._reply(msg, envelope, None, 64, error=str(exc))
             return

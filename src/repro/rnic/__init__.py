@@ -16,7 +16,7 @@ Models the pieces of RNIC behaviour the middleware's design responds to:
 from repro.rnic.cq import CompletionQueue
 from repro.rnic.mr import AccessFlags, MemoryRegion, MrTable, ProtectionDomain
 from repro.rnic.nic import Rnic
-from repro.rnic.qp import QueuePair, QpState
+from repro.rnic.qp import QpStateError, QueuePair, QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest, WrStatus
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "Opcode",
     "ProtectionDomain",
     "QpState",
+    "QpStateError",
     "QueuePair",
     "Rnic",
     "WorkRequest",

@@ -19,7 +19,7 @@ Public surface:
   constants shared by the whole substrate.
 """
 
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import Simulator, SimulationError, TieAudit
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.params import SimParams
 from repro.sim.process import Process
@@ -44,6 +44,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "TieAudit",
     "Timeout",
     "ns_to_us",
     "us",

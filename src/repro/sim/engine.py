@@ -8,8 +8,9 @@ on.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
@@ -21,6 +22,68 @@ _NORMAL = 1
 
 class SimulationError(RuntimeError):
     """An unhandled failure escaped a process with no observer."""
+
+
+class TieAudit:
+    """Debug-mode observer of the heap's ``(time, priority)`` tie-breaks.
+
+    Ties are *normal* — many events fire at the same instant — and the
+    sequence number resolves them in insertion order, which is what the
+    determinism guarantee rests on.  The auditor makes that story
+    measurable end to end:
+
+    * ``ties`` / ``tie_groups`` / ``max_group`` quantify how much of a run
+      rides on the tie-break (how fragile the schedule would be without it);
+    * ``anomalies`` counts pops where a tie resolved *out of* insertion
+      order — always 0 unless a refactor breaks the heap key;
+    * ``digest()`` is a SHA-256 over the fired-event schedule, so two runs
+      with one root seed can be compared bit-for-bit.
+
+    The digest covers ``(time, priority, event type)`` — deliberately not
+    event *names*: names embed process-lifetime entity ids (connection,
+    message, QP counters), so including them would make the digest depend
+    on how many simulations ran earlier in the same interpreter rather
+    than on the schedule itself.
+    """
+
+    def __init__(self) -> None:
+        self.pops = 0            #: events fired while auditing
+        self.ties = 0            #: pops sharing (time, priority) with prior
+        self.tie_groups = 0      #: runs of >=2 tied pops
+        self.max_group = 1       #: largest tied run
+        self.anomalies = 0       #: ties resolved against insertion order
+        self._last_key: Optional[Tuple[int, int]] = None
+        self._last_seq = -1
+        self._group = 1
+        self._hash = hashlib.sha256()
+
+    def observe(self, when: int, priority: int, seq: int,
+                event: Event) -> None:
+        self.pops += 1
+        self._hash.update(
+            f"{when}:{priority}:{type(event).__name__}\n".encode())
+        key = (when, priority)
+        if key == self._last_key:
+            self.ties += 1
+            self._group += 1
+            if self._group == 2:
+                self.tie_groups += 1
+            self.max_group = max(self.max_group, self._group)
+            if seq <= self._last_seq:
+                self.anomalies += 1
+        else:
+            self._group = 1
+        self._last_key = key
+        self._last_seq = seq
+
+    def digest(self) -> str:
+        """Hex digest of the schedule so far (order- and time-sensitive)."""
+        return self._hash.hexdigest()
+
+    def summary(self) -> str:
+        return (f"tie-audit: pops={self.pops} ties={self.ties} "
+                f"groups={self.tie_groups} max_group={self.max_group} "
+                f"anomalies={self.anomalies}")
 
 
 class Simulator:
@@ -39,11 +102,23 @@ class Simulator:
         assert proc.value == "pong"
     """
 
-    def __init__(self) -> None:
+    def __init__(self, debug_ties: bool = False) -> None:
         self._now: int = 0
         self._heap: List[Tuple[int, int, int, Event]] = []
         self._sequence: int = 0
         self._active_process: Optional[Process] = None
+        self.tie_audit: Optional[TieAudit] = TieAudit() if debug_ties \
+            else None
+
+    def enable_tie_audit(self) -> TieAudit:
+        """Turn the tie-break auditor on (idempotent); returns it.
+
+        Enable before running anything — the digest only covers events
+        fired while the auditor is active.
+        """
+        if self.tie_audit is None:
+            self.tie_audit = TieAudit()
+        return self.tie_audit
 
     # ------------------------------------------------------------------ time
     @property
@@ -65,11 +140,11 @@ class Simulator:
         """An event firing ``delay`` ns from now."""
         return Timeout(self, delay, value)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Fires when the first of ``events`` fires."""
         return AnyOf(self, events)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         """Fires when all of ``events`` have fired."""
         return AllOf(self, events)
 
@@ -106,7 +181,9 @@ class Simulator:
 
     def step(self) -> None:
         """Fire the single next event."""
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, priority, seq, event = heapq.heappop(self._heap)
+        if self.tie_audit is not None:
+            self.tie_audit.observe(when, priority, seq, event)
         self._now = when
         had_observers = bool(event.callbacks)
         event._fire()

@@ -20,7 +20,7 @@ _PENDING = object()
 class Interrupt(Exception):
     """Raised inside a process when another process interrupts it."""
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -34,7 +34,7 @@ class Event:
     invokes callbacks when the event's scheduled time arrives.
     """
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name or type(self).__name__
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -108,7 +108,7 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` nanoseconds after creation."""
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim, name=f"timeout({delay})")
@@ -120,7 +120,7 @@ class Timeout(Event):
 class _Condition(Event):
     """Base for AnyOf / AllOf composition over a set of events."""
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._done = 0

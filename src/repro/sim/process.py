@@ -29,7 +29,7 @@ class Process(Event):
     """
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
-                 name: str = ""):
+                 name: str = "") -> None:
         super().__init__(sim, name=name or getattr(
             generator, "__name__", "process"))
         if not hasattr(generator, "send"):
@@ -83,7 +83,10 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - process died
+        except BaseException as exc:  # xr-lint: disable=swallowed-error
+            # Intentionally broad: this is the process-death trap.  The
+            # failure is not swallowed — fail() re-surfaces it through the
+            # process-as-event (and step() raises if nobody observes it).
             self.fail(exc)
             return
         finally:

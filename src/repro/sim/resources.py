@@ -29,7 +29,7 @@ class Store:
     """
 
     def __init__(self, sim: "Simulator", capacity: Optional[int] = None,
-                 name: str = "store"):
+                 name: str = "store") -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.sim = sim
@@ -98,7 +98,7 @@ class Resource:
     """A counted resource (semaphore) with FIFO granting."""
 
     def __init__(self, sim: "Simulator", capacity: int = 1,
-                 name: str = "resource"):
+                 name: str = "resource") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.sim = sim

@@ -10,7 +10,7 @@ in which subsystems are constructed.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict, Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ import numpy as np
 class RngStream:
     """A thin, intention-revealing wrapper over ``numpy.random.Generator``."""
 
-    def __init__(self, name: str, seed: int):
+    def __init__(self, name: str, seed: int) -> None:
         self.name = name
         self.seed = seed
         self._gen = np.random.default_rng(seed)
@@ -40,7 +40,7 @@ class RngStream:
     def normal(self, mean: float, std: float) -> float:
         return float(self._gen.normal(mean, std))
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[Any]) -> Any:
         return seq[self.randint(0, len(seq))]
 
     def shuffle(self, seq: list) -> None:
@@ -53,7 +53,7 @@ class RngStream:
 class RngRegistry:
     """Derives reproducible per-name streams from one root seed."""
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
         self._streams: Dict[str, RngStream] = {}
 

@@ -1,0 +1,81 @@
+"""xr-lint CLI: run the project's static-analysis rules over source trees.
+
+Usage::
+
+    python -m repro.tools.xr_lint                 # src tests benchmarks examples
+    python -m repro.tools.xr_lint src/repro/xrdma
+    python -m repro.tools.xr_lint --format json src
+    python -m repro.tools.xr_lint --list-rules
+    python -m repro.tools.xr_lint --select memcache-leak,qp-leak src
+
+Exit status: 0 clean, 1 findings, 2 usage/parse errors — the same
+convention the self-check test and the CI job rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import (LintRunner, all_rules, render_json,
+                                 render_text)
+
+#: default trees, matching the tier-1 self-check gate
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def _split_csv(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.xr_lint",
+        description="Project-specific static analysis: determinism, "
+                    "resource pairing, sim hygiene.")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule names to run exclusively")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule names to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def list_rules() -> str:
+    lines = ["xr-lint rule catalogue "
+             "(suppress: # xr-lint: disable=<name>):"]
+    for cls in all_rules():
+        lines.append(f"  {cls.code}  {cls.name:<16} {cls.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        runner = LintRunner(select=_split_csv(args.select),
+                            ignore=_split_csv(args.ignore))
+    except KeyError as exc:
+        print(f"xr-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    findings = runner.run_paths(args.paths)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, runner.errors))
+    if runner.errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

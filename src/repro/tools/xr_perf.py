@@ -65,6 +65,10 @@ class XrPerf:
         self.cluster = cluster
         self.sim = cluster.sim
         self._contexts: Dict[int, "XrdmaContext"] = {}
+        # Per-instance, not class-level: a class counter would survive
+        # across drivers in one process, giving the Nth XrPerf different
+        # RNG stream names than a fresh one under the same root seed.
+        self._sender_seq = 0
 
     def context(self, host_id: int, config=None) -> "XrdmaContext":
         ctx = self._contexts.get(host_id)
@@ -140,13 +144,11 @@ class XrPerf:
         result.crucial = self._crucial_delta(before, self._crucial_snapshot())
         return result
 
-    _sender_seq = 0
-
     def _incast_sender(self, ctx, sink, spec):
         channel = yield from ctx.connect(sink, PERF_PORT)
-        XrPerf._sender_seq += 1
+        self._sender_seq += 1
         rng = self.cluster.rng.stream(
-            f"xrperf:{spec.src}->{spec.dst}#{XrPerf._sender_seq}")
+            f"xrperf:{spec.src}->{spec.dst}#{self._sender_seq}")
         sent, sent_bytes = yield from open_loop_sender(ctx, channel, spec,
                                                        rng)
         # Wait for everything to be consumed before declaring done.

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.timeunits import MILLIS, SECONDS
+from repro.verbs.cm import ConnectError
 from repro.xrdma.channel import ChannelBroken
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,7 +58,7 @@ class XrPing:
             channel = yield from ctx.connect(
                 dst, PING_PORT,
                 timeout_ns=max(self.probe_timeout_ns, 20 * MILLIS))
-        except Exception:  # noqa: BLE001 - unreachable host
+        except (ConnectError, ChannelBroken):    # unreachable host
             self.matrix[(src, dst)] = None
             return None
         t0 = self.sim.now

@@ -49,7 +49,9 @@ class VerbsContext:
         def fire(_ev: Event) -> None:
             try:
                 done.succeed(effect())
-            except BaseException as exc:  # noqa: BLE001 - surface to caller
+            except BaseException as exc:  # xr-lint: disable=swallowed-error
+                # Not swallowed: fail() re-raises through the charged event
+                # at the caller's yield point.
                 done.fail(exc)
 
         self.sim.timeout(cost_ns).add_callback(fire)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, List, Optional
 
+from repro.xrdma.channel import ChannelBroken
 from repro.xrdma.message import MessageKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,7 +74,7 @@ def open_loop_sender(ctx: "XrdmaContext", channel: "XrdmaChannel",
         size = spec.draw_size(rng)
         try:
             msg = ctx.send_msg(channel, size, kind=spec.kind)
-        except Exception:  # noqa: BLE001 - channel died mid-run
+        except ChannelBroken:   # channel died mid-run
             return sent, sent_bytes
         sent += 1
         sent_bytes += size

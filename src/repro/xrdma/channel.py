@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 from repro.analysis.invariants import check as _invariant
 from repro.rnic.qp import QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest
+from repro.sim.process import ProcessGenerator
 from repro.xrdma.flowctl import FlowController
 from repro.xrdma.memcache import RdmaBuffer
 from repro.xrdma.message import (MessageKind, XrdmaHeader, XrdmaMessage)
@@ -77,7 +78,7 @@ class XrdmaChannel:
     """One established connection between two X-RDMA contexts."""
 
     def __init__(self, ctx: "XrdmaContext", conn: "CmConnection",
-                 window_depth: int):
+                 window_depth: int) -> None:
         self.ctx = ctx
         self.conn = conn
         self.qp = conn.qp
@@ -133,7 +134,7 @@ class XrdmaChannel:
         return msg
 
     # --------------------------------------------------------------- tx pump
-    def pump(self):
+    def pump(self) -> ProcessGenerator:
         """Generator: move queued messages onto the wire while the window
         has room (driven by the context loop)."""
         while (self.pending_send and self.window.can_send()
@@ -167,7 +168,8 @@ class XrdmaChannel:
             header.sent_at_ns = self.ctx.local_time()
         return header
 
-    def _send_small(self, msg: XrdmaMessage, header: XrdmaHeader):
+    def _send_small(self, msg: XrdmaMessage,
+                    header: XrdmaHeader) -> ProcessGenerator:
         wire = msg.payload_size + header.wire_bytes(self.ctx.config.req_rsp_mode)
         wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
                          imm_data=header.ack & 0xFFFF_FFFF, payload=header)
@@ -175,7 +177,8 @@ class XrdmaChannel:
                                              seq=header.seq))
         yield from self.flow.post(wr)
 
-    def _send_announce(self, msg: XrdmaMessage, header: XrdmaHeader):
+    def _send_announce(self, msg: XrdmaMessage,
+                       header: XrdmaHeader) -> ProcessGenerator:
         # The payload must live in RDMA-enabled memory the peer can read.
         if not isinstance(getattr(msg, "src_buffer", None), RdmaBuffer):
             msg.src_buffer = yield from self.ctx.memcache.alloc(
@@ -190,7 +193,7 @@ class XrdmaChannel:
                                              seq=header.seq))
         yield from self.flow.post(wr)
 
-    def send_control(self, kind: MessageKind):
+    def send_control(self, kind: MessageKind) -> ProcessGenerator:
         """Generator: standalone ACK or NOP (no window slot consumed)."""
         header = XrdmaHeader(
             kind=kind, seq=-1, ack=self.window.ack_to_send(),
@@ -208,7 +211,7 @@ class XrdmaChannel:
         self.last_tx_ns = self.ctx.sim.now
         yield self.ctx.verbs.post_send(self.qp, wr)
 
-    def keepalive_probe(self):
+    def keepalive_probe(self) -> ProcessGenerator:
         """Generator: zero-byte RDMA Write; the peer RNIC acks in hardware."""
         if self.keepalive_in_flight or self.state is not ChannelState.READY:
             return
@@ -219,7 +222,7 @@ class XrdmaChannel:
         yield self.ctx.verbs.post_send(self.qp, wr)
 
     # ------------------------------------------------------------- rx path
-    def on_receive(self, completion: Completion):
+    def on_receive(self, completion: Completion) -> ProcessGenerator:
         """Generator: process one inbound message header (from a RECV CQE)."""
         header: XrdmaHeader = completion.payload
         self.last_rx_ns = self.ctx.sim.now
@@ -263,7 +266,7 @@ class XrdmaChannel:
                 header, arrived_at = entry
                 self._deliver(header, arrived_at)
 
-    def _post_arrival_duties(self):
+    def _post_arrival_duties(self) -> ProcessGenerator:
         """Ack decisions + window movement after arrivals advance rta."""
         yield from self.pump()
         threshold = max(1, self.window.depth // 4)
@@ -288,7 +291,7 @@ class XrdmaChannel:
             if self.ctx.tracer is not None:
                 self.ctx.tracer.on_message_acked(self, msg)
 
-    def _start_rendezvous(self, header: XrdmaHeader):
+    def _start_rendezvous(self, header: XrdmaHeader) -> ProcessGenerator:
         """Receiver-side on-demand buffer + fragmented RDMA Read."""
         _invariant(header.seq not in self._rendezvous,
                    "channel.duplicate_rendezvous",
@@ -312,7 +315,7 @@ class XrdmaChannel:
             offset += size
             yield from self.flow.post(wr)
 
-    def _finish_rendezvous(self, seq: int):
+    def _finish_rendezvous(self, seq: int) -> None:
         rendezvous = self._rendezvous.pop(seq, None)
         if rendezvous is None:
             return
@@ -347,7 +350,8 @@ class XrdmaChannel:
         self.ctx.deliver(msg)
 
     # -------------------------------------------------------- cqe dispatch
-    def on_send_completion(self, completion: Completion, route: _WrRoute):
+    def on_send_completion(self, completion: Completion,
+                           route: _WrRoute) -> ProcessGenerator:
         """Generator: route one send-side CQE."""
         if not completion.ok:
             self.mark_broken(f"send CQE error: {completion.status.name}")

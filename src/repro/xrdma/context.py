@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.memory.host import AllocMode
 from repro.rnic.qp import QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest
+from repro.sim.process import ProcessGenerator
 from repro.sim.resources import Store
 from repro.sim.timeunits import MILLIS, SECONDS
 from repro.xrdma.channel import ChannelState, XrdmaChannel, _WrRoute
@@ -37,9 +38,11 @@ from repro.xrdma.qpcache import QpCache
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.rnic.nic import Rnic
+    from repro.rnic.qp import QueuePair
     from repro.sim.engine import Simulator
     from repro.verbs.api import VerbsContext
-    from repro.verbs.cm import CmAgent
+    from repro.verbs.cm import CmAgent, CmListener
+    from repro.xrdma.memcache import RdmaBuffer
 
 _ctx_ids = itertools.count(1)
 
@@ -60,7 +63,7 @@ class XrdmaContext:
 
     def __init__(self, sim: "Simulator", verbs: "VerbsContext",
                  cm: "CmAgent", config: Optional[XrdmaConfig] = None,
-                 name: str = ""):
+                 name: str = "") -> None:
         self.sim = sim
         self.verbs = verbs
         self.cm = cm
@@ -116,7 +119,7 @@ class XrdmaContext:
 
     # ====================================================== connection mgmt
     def connect(self, remote_host: int, service_port: int,
-                timeout_ns: int = 2 * SECONDS):
+                timeout_ns: int = 2 * SECONDS) -> ProcessGenerator:
         """Generator: establish a channel (QP cache fast path when warm)."""
         self.start()
         recycled = self.qpcache.get()
@@ -145,7 +148,7 @@ class XrdmaContext:
                        name=f"{self.name}:accept{service_port}")
         return self.accepted
 
-    def _accept_loop(self, listener):
+    def _accept_loop(self, listener: "CmListener") -> ProcessGenerator:
         while not self._stopped:
             conn = yield listener.accepted.get()
             peer_window = (conn.private_data or {}).get(
@@ -156,7 +159,7 @@ class XrdmaContext:
             self.channels[conn.qp.qpn] = channel
             self.accepted.put_nowait(channel)
 
-    def _prime_channel(self, channel: XrdmaChannel):
+    def _prime_channel(self, channel: XrdmaChannel) -> ProcessGenerator:
         """Pre-post window-depth receive buffers (the RNR-free invariant).
 
         With an SRQ, buffers are shared and capped at the SRQ depth — this
@@ -171,7 +174,8 @@ class XrdmaContext:
             channel._recv_buffers.append(buffer)
             yield from self._post_recv(channel, buffer)
 
-    def _post_recv(self, channel: XrdmaChannel, buffer):
+    def _post_recv(self, channel: XrdmaChannel,
+                   buffer: "RdmaBuffer") -> ProcessGenerator:
         wr = WorkRequest(opcode=Opcode.RECV, length=buffer.size,
                          local_addr=buffer.addr)
         if self.srq is not None:
@@ -183,7 +187,8 @@ class XrdmaContext:
             self._recv_buffers[wr.wr_id] = (channel, buffer)
             yield self.verbs.post_recv(channel.qp, wr)
 
-    def close_channel(self, channel: XrdmaChannel, notify: bool = True):
+    def close_channel(self, channel: XrdmaChannel,
+                      notify: bool = True) -> ProcessGenerator:
         """Generator: orderly shutdown — the QP goes back to the cache."""
         if channel.state is not ChannelState.READY:
             return
@@ -214,10 +219,10 @@ class XrdmaContext:
         # come (all of their work could be queued behind the budget).
         self.sim.spawn(self._drain_budget(), name=f"{self.name}:drain")
 
-    def _destroy_qp(self, qp):
+    def _destroy_qp(self, qp: "QueuePair") -> ProcessGenerator:
         yield self.verbs.destroy_qp(qp)
 
-    def _drain_budget(self):
+    def _drain_budget(self) -> ProcessGenerator:
         yield self.sim.timeout(0)   # let mark_broken unwind first
         yield from self.wr_budget.drain()
 
@@ -265,12 +270,12 @@ class XrdmaContext:
         """xrdma_process_event: handle events after an fd wakeup."""
         return self.polling(max_messages)
 
-    def reg_mem(self, size: int):
+    def reg_mem(self, size: int) -> ProcessGenerator:
         """xrdma_reg_mem (generator): RDMA-enabled buffer from the cache."""
         buffer = yield from self.memcache.alloc(size)
         return buffer
 
-    def dereg_mem(self, buffer) -> None:
+    def dereg_mem(self, buffer: "RdmaBuffer") -> None:
         """xrdma_dereg_mem: return a buffer to the cache."""
         self.memcache.free(buffer)
 
@@ -282,7 +287,7 @@ class XrdmaContext:
                 channel.flow.enabled = bool(value)
         self.kick()  # wake the loop so new intervals take effect promptly
 
-    def trace_request(self, msg: XrdmaMessage):
+    def trace_request(self, msg: XrdmaMessage) -> Optional[Any]:
         """xrdma_trace_request: tracing record for a message (req-rsp mode)."""
         if self.tracer is None:
             return None
@@ -311,7 +316,7 @@ class XrdmaContext:
         self._injected_stall_ns += duration_ns
         self.kick()
 
-    def _run(self):
+    def _run(self) -> ProcessGenerator:
         config = self.config
         last_keepalive = self.sim.now
         last_deadlock = self.sim.now
@@ -383,7 +388,8 @@ class XrdmaContext:
                 # Not busy-polling (anymore); pay the epoll wakeup.
                 yield self.sim.timeout(self.params.host_wakeup_ns)
 
-    def _handle_recv_completion(self, completion: Completion):
+    def _handle_recv_completion(self,
+                                completion: Completion) -> ProcessGenerator:
         entry = self._recv_buffers.pop(completion.wr_id, None)
         channel = self.channels.get(completion.qp_num)
         if channel is None and entry is not None:
@@ -411,21 +417,22 @@ class XrdmaContext:
                 yield from channel.on_receive(completion)
         yield from channel.on_receive(completion)
 
-    def _handle_send_completion(self, completion: Completion):
+    def _handle_send_completion(self,
+                                completion: Completion) -> ProcessGenerator:
         routed = self._wr_routes.pop(completion.wr_id, None)
         if routed is None:
             return
         channel, route = routed
         yield from channel.on_send_completion(completion, route)
 
-    def _keepalive_round(self, now: int):
+    def _keepalive_round(self, now: int) -> ProcessGenerator:
         for channel in list(self.channels.values()):
             if channel.state is not ChannelState.READY:
                 continue
             if channel.idle_ns(now) >= self.config.keepalive_intv_ns:
                 yield from channel.keepalive_probe()
 
-    def _deadlock_round(self):
+    def _deadlock_round(self) -> ProcessGenerator:
         for channel in list(self.channels.values()):
             if channel.state is not ChannelState.READY:
                 continue

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.analysis.invariants import check as _invariant
 from repro.rnic.wqe import WorkRequest
+from repro.sim.process import ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.rnic.qp import QueuePair
@@ -35,7 +36,7 @@ class WrBudget:
     this is what drives CNPs to the paper's 1–2% residue (Fig. 10).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"budget capacity must be >= 1: {capacity}")
         self.capacity = capacity
@@ -66,7 +67,7 @@ class WrBudget:
         if controller not in self._waiters:
             self._waiters.append(controller)
 
-    def drain(self):
+    def drain(self) -> ProcessGenerator:
         """Generator: grant freed slots to waiting controllers, FIFO.
 
         A controller refused on its *per-channel* cap (not the budget)
@@ -95,7 +96,7 @@ class FlowController:
     def __init__(self, verbs: "VerbsContext", qp: "QueuePair",
                  max_outstanding: int, fragment_bytes: int,
                  enabled: bool = True,
-                 budget: Optional[WrBudget] = None):
+                 budget: Optional[WrBudget] = None) -> None:
         self.verbs = verbs
         self.qp = qp
         self.max_outstanding = max_outstanding
@@ -137,7 +138,7 @@ class FlowController:
             return False
         return self.budget is None or self.budget.available
 
-    def post(self, wr: WorkRequest):
+    def post(self, wr: WorkRequest) -> ProcessGenerator:
         """Generator: post ``wr`` now, or queue it if a cap is reached."""
         if not self._may_issue():
             self._queue.append(wr)
@@ -147,21 +148,21 @@ class FlowController:
             return
         yield from self._issue(wr)
 
-    def _issue(self, wr: WorkRequest):
+    def _issue(self, wr: WorkRequest) -> ProcessGenerator:
         self.outstanding += 1
         if self.enabled and self.budget is not None:
             self.budget.acquire()
             self.budget_held += 1
         yield self.verbs.post_send(self.qp, wr)
 
-    def admit_queued(self):
+    def admit_queued(self) -> ProcessGenerator:
         """Generator: issue one queued WR if allowed; returns True if so."""
         if not self._queue or not self._may_issue():
             return False
         yield from self._issue(self._queue.popleft())
         return True
 
-    def on_completion(self):
+    def on_completion(self) -> ProcessGenerator:
         """Generator: a data WR completed; admit queued work (here first,
         then any channel waiting on the shared budget)."""
         if self._abandoned:

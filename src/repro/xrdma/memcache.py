@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.analysis.invariants import check as _invariant
 from repro.memory.host import AllocMode, HostMemory
 from repro.rnic.mr import AccessFlags, MemoryRegion
+from repro.sim.process import ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.rnic.mr import ProtectionDomain
@@ -51,7 +52,7 @@ class RdmaBuffer:
 class _Arena:
     """One registered MR plus a simple first-fit free list."""
 
-    def __init__(self, mr: MemoryRegion):
+    def __init__(self, mr: MemoryRegion) -> None:
         self.mr = mr
         self.free: List[Tuple[int, int]] = [(mr.addr, mr.length)]
         self.used_bytes = 0
@@ -107,7 +108,7 @@ class MemCache:
     def __init__(self, verbs: "VerbsContext", pd: "ProtectionDomain",
                  mr_bytes: int = 4 * 1024 * 1024,
                  alloc_mode: AllocMode = AllocMode.ANONYMOUS,
-                 isolated: bool = False):
+                 isolated: bool = False) -> None:
         self.verbs = verbs
         self.pd = pd
         self.mr_bytes = mr_bytes
@@ -136,7 +137,7 @@ class MemCache:
         return len(self._arenas)
 
     # ------------------------------------------------------------ allocation
-    def alloc(self, size: int):
+    def alloc(self, size: int) -> ProcessGenerator:
         """Generator: allocate ``size`` bytes, registering a new MR if needed.
 
         ``yield from`` it inside a sim process; returns an
@@ -210,13 +211,13 @@ class MemCache:
             self.shrink_count += 1
         return len(victims)
 
-    def prewarm(self, arenas: int):
+    def prewarm(self, arenas: int) -> ProcessGenerator:
         """Generator: register ``arenas`` MRs up front."""
         for _ in range(arenas):
             yield from self._grow()
 
     # -------------------------------------------------------------- internal
-    def _grow(self):
+    def _grow(self) -> ProcessGenerator:
         if self.isolated:
             base = self._isolated_cursor
             self._isolated_cursor += self.mr_bytes * 2  # guard gap between MRs

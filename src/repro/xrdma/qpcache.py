@@ -12,6 +12,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.rnic.qp import QpState, QueuePair
+from repro.sim.process import ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.rnic.cq import CompletionQueue
@@ -24,7 +25,7 @@ class QpCache:
 
     def __init__(self, verbs: "VerbsContext", pd: "ProtectionDomain",
                  send_cq: "CompletionQueue", recv_cq: "CompletionQueue",
-                 capacity: int = 64):
+                 capacity: int = 64) -> None:
         if capacity < 0:
             raise ValueError(f"negative capacity: {capacity}")
         self.verbs = verbs
@@ -48,7 +49,7 @@ class QpCache:
         self.misses += 1
         return None
 
-    def put(self, qp: QueuePair):
+    def put(self, qp: QueuePair) -> ProcessGenerator:
         """Generator: recycle a QP — reset it and pool it (or destroy it
         when the pool is full).  ``yield from`` inside a sim process."""
         if len(self._pool) >= self.capacity:
@@ -58,7 +59,7 @@ class QpCache:
         self._pool.append(qp)
         self.recycled += 1
 
-    def prewarm(self, count: int):
+    def prewarm(self, count: int) -> ProcessGenerator:
         """Generator: pre-create ``count`` QPs at startup (amortized cost)."""
         for _ in range(count):
             if len(self._pool) >= self.capacity:

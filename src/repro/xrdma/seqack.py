@@ -27,7 +27,7 @@ class WindowFull(RuntimeError):
 class SeqAckWindow:
     """Ring-buffer window over message sequence numbers."""
 
-    def __init__(self, depth: int):
+    def __init__(self, depth: int) -> None:
         if depth < 2:
             raise ValueError("window depth must be >= 2 (NOP slot reserved)")
         self.depth = depth

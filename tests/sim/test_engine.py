@@ -296,3 +296,60 @@ def test_event_value_before_trigger_raises():
         _ = ev.value
     with pytest.raises(RuntimeError):
         _ = ev.ok
+
+
+# ------------------------------------------------------------- tie auditing
+
+def test_tie_audit_counts_tied_pops():
+    from repro.sim import TieAudit
+    sim = Simulator(debug_ties=True)
+    order = []
+
+    def waiter(tag, delay):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    # Three events at t=10 (one tie group of 3), one alone at t=20.
+    for tag in "abc":
+        sim.spawn(waiter(tag, 10))
+    sim.spawn(waiter("d", 20))
+    sim.run()
+
+    assert order == ["a", "b", "c", "d"]        # insertion order within ties
+    audit = sim.tie_audit
+    assert isinstance(audit, TieAudit)
+    assert audit.pops > 0
+    assert audit.tie_groups >= 1
+    assert audit.max_group >= 3
+    assert audit.anomalies == 0
+    assert "anomalies=0" in audit.summary()
+
+
+def test_tie_audit_detects_out_of_order_sequence():
+    from repro.sim import TieAudit
+    audit = TieAudit()
+    ev = Event(Simulator(), name="x")
+    audit.observe(10, 1, 1, ev)
+    audit.observe(10, 1, 5, ev)
+    audit.observe(10, 1, 3, ev)     # tie resolved against insertion order
+    assert audit.ties == 2
+    assert audit.anomalies == 1
+
+
+def test_tie_audit_digest_reflects_schedule():
+    from repro.sim import TieAudit
+    a, b, c = TieAudit(), TieAudit(), TieAudit()
+    ev = Event(Simulator(), name="x")
+    a.observe(10, 1, 1, ev)
+    b.observe(10, 1, 1, ev)
+    c.observe(11, 1, 1, ev)         # different time -> different digest
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+
+
+def test_enable_tie_audit_is_idempotent():
+    sim = Simulator()
+    assert sim.tie_audit is None
+    first = sim.enable_tie_audit()
+    assert sim.enable_tie_audit() is first
+    assert sim.tie_audit is first

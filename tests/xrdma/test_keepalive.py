@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim import MILLIS, SECONDS
 from repro.xrdma import XrdmaConfig
-from repro.xrdma.channel import ChannelState
+from repro.xrdma.channel import ChannelBroken, ChannelState
 from tests.conftest import run_process
 from tests.xrdma.conftest import connect_pair
 
@@ -78,7 +78,7 @@ def test_pending_messages_fail_when_peer_dies(cluster):
         try:
             yield msg.acked
             return "acked"
-        except Exception as exc:  # noqa: BLE001
+        except ChannelBroken as exc:
             return type(exc).__name__
 
     result = run_process(cluster, waiter(), limit=30 * SECONDS)
