@@ -121,19 +121,29 @@ class InvariantRegistry:
 # ---------------------------------------------------------------- active hook
 _active: Optional[InvariantRegistry] = None
 
+#: Mirror of ``_active is not None``, maintained by install()/uninstall().
+#: Hot call sites gate *pure assertion* blocks on this flag so a disabled
+#: sanitizer costs one module-attribute load instead of building detail
+#: closures and calling :func:`check`.  Sites whose violated branch also
+#: *clamps* state must not be gated — they stay correct by constructing
+#: their detail lazily inside the violated branch instead.
+ENABLED = False
+
 
 def install(registry: Optional[InvariantRegistry] = None,
             mode: str = "fatal") -> InvariantRegistry:
     """Make ``registry`` (or a fresh one in ``mode``) the active sanitizer."""
-    global _active
+    global _active, ENABLED
     _active = registry if registry is not None else InvariantRegistry(mode)
+    ENABLED = True
     return _active
 
 
 def uninstall() -> Optional[InvariantRegistry]:
     """Deactivate checking; returns the registry that was active."""
-    global _active
+    global _active, ENABLED
     registry, _active = _active, None
+    ENABLED = False
     return registry
 
 

@@ -9,12 +9,9 @@ a real RoCEv2 network.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Any, Optional
-
-_segment_ids = itertools.count(1)
+from typing import Any
 
 
 class SegmentKind(Enum):
@@ -27,7 +24,7 @@ class SegmentKind(Enum):
     CONTROL = auto()     #: connection management (rdma_cm, TCP handshakes)
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
     """One simulated wire unit.
 
@@ -46,9 +43,12 @@ class Segment:
     ecn_capable: bool = True
     ecn_marked: bool = False
     payload: Any = None
-    seg_id: int = field(default_factory=lambda: next(_segment_ids))
     enqueued_at: int = 0              #: set by switches for latency accounting
     hops: int = 0                     #: switch traversals so far
+    #: PFC ingress accounting, stamped by the switch that queued the
+    #: segment so its dequeue hook can find the right ingress counter.
+    pfc_switch: Any = None
+    pfc_ingress: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:

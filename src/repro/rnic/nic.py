@@ -25,6 +25,7 @@ from collections import OrderedDict, deque
 from typing import (TYPE_CHECKING, Callable, Deque, Dict, Optional, Union)
 
 from repro.net.device import Device
+from repro.sim.events import Timeout
 from repro.net.packet import Segment, SegmentKind
 from repro.rnic.cq import CompletionQueue
 from repro.rnic.mr import MrTable
@@ -131,7 +132,7 @@ class Rnic(Device):
         """Port for a flow: pinned on first use to the least-loaded port
         (per-flow stickiness preserves ordering; balanced assignment uses
         both ports the way dual-port QP placement does)."""
-        uplinks = getattr(self, "uplinks", None)
+        uplinks = self.uplinks
         if not uplinks or len(uplinks) == 1:
             return self.uplink
         index = self._flow_ports.get(flow_id)
@@ -235,23 +236,37 @@ class Rnic(Device):
 
     def _tx_loop(self):
         params = self.params
+        sim = self.sim
+        ready = self._ready          # stable deque, hoisted for the hot loop
+        in_ready = self._in_ready
+        # DMA time depends only on the fragment size, and fragments come in
+        # a handful of sizes (MTU, CTRL, message remainders) — memoize the
+        # float math the same way EgressPort memoizes serialization.
+        dma_cache: dict = {}
+        segment_process_ns = params.nic_segment_process_ns
+        # Exactly one occupancy timeout is in flight (the loop blocks on
+        # it), so one recycled object serves every fragment.
+        occ_timeout: Optional[Timeout] = None
         while True:
             if not self.alive:
                 return
-            if not self._ready:
-                wake = self.sim.event(f"{self.name}:txwake")
+            if not ready:
+                # Static name: one of these is born per idle transition,
+                # which is far too hot for a per-event f-string.
+                wake = sim.event("txwake")
                 self._tx_wakes.append(wake)
                 yield wake
                 continue
-            job = self._ready.popleft()
-            self._in_ready.discard(id(job))
+            job = ready.popleft()
+            in_ready.discard(id(job))
 
-            if isinstance(job, QueuePair):
+            is_qp = isinstance(job, QueuePair)
+            if is_qp:
                 if job.state is not QpState.RTS:
                     continue
-                if self.sim.now < job.tx_blocked_until:
-                    self.sim.call_at(job.tx_blocked_until,
-                                     lambda qp=job: self._kick_qp(qp))
+                if sim._now < job.tx_blocked_until:
+                    sim.call_at(job.tx_blocked_until,
+                                lambda qp=job: self._kick_qp(qp))
                     continue
                 if not (job.has_tx_work() or job.retx):
                     continue
@@ -283,7 +298,7 @@ class Rnic(Device):
             # the whole WQE's wire time is reserved from the limiter.
             # This is exactly why X-RDMA fragments large WRs: a 1 MB WQE
             # is a 1 MB line-rate burst no matter what DCQCN's rate says.
-            if isinstance(job, QueuePair):
+            if is_qp:
                 new_wqe = job.current_tx is None
                 wqe_bytes = self._pending_wqe_bytes(job)
             else:
@@ -291,25 +306,31 @@ class Rnic(Device):
                 wqe_bytes = job.length
             if new_wqe:
                 limiter = self._limiter(qpn)
-                if params.dcqcn_enabled and limiter.next_tx_ns > self.sim.now:
-                    self.sim.call_at(limiter.next_tx_ns,
-                                     lambda j=job: self._enqueue_job(j))
+                if params.dcqcn_enabled and limiter.next_tx_ns > sim._now:
+                    sim.call_at(limiter.next_tx_ns,
+                                lambda j=job: self._enqueue_job(j))
                     continue
                 limiter.reserve(max(wqe_bytes, CTRL_BYTES))
 
             # Engine occupancy: per-segment work + host-memory DMA + the
             # WQE fetch when a fresh WQE starts + QP-context cache miss.
-            occupancy = (params.nic_segment_process_ns
-                         + params.dma_ns(nbytes)
+            dma = dma_cache.get(nbytes)
+            if dma is None:
+                dma = dma_cache[nbytes] = params.dma_ns(nbytes)
+            occupancy = (segment_process_ns + dma
                          + self._qp_cache_access(qpn))
-            if isinstance(job, QueuePair):
+            if is_qp:
                 if job.current_tx is None:
                     occupancy += params.nic_wqe_fetch_ns
             elif job.sent == 0:
                 occupancy += params.nic_wqe_fetch_ns
-            yield self.sim.timeout(occupancy)
+            if occ_timeout is None:          # direct: per-fragment hot path
+                occ_timeout = Timeout(sim, occupancy)
+            else:
+                occ_timeout._rearm(occupancy)
+            yield occ_timeout
 
-            if isinstance(job, QueuePair):
+            if is_qp:
                 self._emit_qp_fragment(job)
             else:
                 self._emit_read_fragment(job)
@@ -520,8 +541,9 @@ class Rnic(Device):
     def receive(self, segment: Segment, in_port: int) -> None:
         if not self.alive:
             return
-        self.stats.segments_delivered += 1
-        self.stats.bytes_delivered += segment.size
+        stats = self.stats
+        stats.segments_delivered += 1
+        stats.bytes_delivered += segment.size
         if segment.kind is SegmentKind.CNP:
             limiter = self.limiters.get(segment.payload)
             if limiter is not None:

@@ -22,7 +22,7 @@ class RcKind(Enum):
     NAK_ACCESS = auto()  #: rkey/bounds violation; fatal for the QP
 
 
-@dataclass
+@dataclass(slots=True)
 class RcPacket:
     kind: RcKind
     src_qpn: int

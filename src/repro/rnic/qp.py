@@ -65,7 +65,7 @@ class SharedReceiveQueue:
         return len(self.wqes)
 
 
-@dataclass
+@dataclass(slots=True)
 class OutboundMessage:
     """Sender-side in-flight state for one WQE."""
 
@@ -87,7 +87,7 @@ class OutboundMessage:
         return self.sent_bytes >= max(self.wr.length, 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class InboundMessage:
     """Receiver-side reassembly state for the in-progress message."""
 

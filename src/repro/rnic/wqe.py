@@ -29,7 +29,7 @@ class WrStatus(Enum):
     LOCAL_PROTECTION_ERROR = auto()
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkRequest:
     """One posted operation.
 
@@ -63,7 +63,7 @@ class WorkRequest:
             raise ValueError(f"{self.opcode.name} requires imm_data")
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """A CQE."""
 

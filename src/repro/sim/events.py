@@ -4,17 +4,37 @@ A process (generator) suspends by yielding an :class:`Event` (or a subclass).
 The engine resumes the process when the event *fires* — either successfully,
 delivering a value, or with a failure, raising the stored exception inside
 the process.
+
+Events are the single hottest allocation in the simulator (every timeout,
+wake-up, and process bootstrap is one), so the classes here carry
+``__slots__`` and compute their display names lazily: the name only
+matters in error messages and debug output, never on the fire path.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+from heapq import heappush as _heappush
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.engine import Simulator
 
 # Sentinel distinguishing "no value yet" from a delivered ``None``.
 _PENDING = object()
+
+# Heap priorities, defined here so the trigger paths below can push onto
+# the heap without a round-trip through ``Simulator._schedule``.  The
+# engine imports these — they are the single source of truth.
+_URGENT = 0
+_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure escaped a process with no observer.
+
+    Lives here (not in ``engine``) because the event layer raises it too;
+    ``repro.sim.engine`` re-exports it, which is the canonical import site.
+    """
 
 
 class Interrupt(Exception):
@@ -32,14 +52,29 @@ class Event:
     *triggered* (scheduled to fire, value decided), and *processed* (its
     callbacks have run).  ``succeed``/``fail`` decide the value; the engine
     invokes callbacks when the event's scheduled time arrives.
+
+    Setting :attr:`defused` on a *failed* event tells the engine the
+    failure is expected and observed out-of-band, so ``step()`` must not
+    escalate it to :class:`SimulationError`.
     """
+
+    __slots__ = ("sim", "_name", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
-        self.name = name or type(self).__name__
+        self._name = name
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self.defused = False
+
+    @property
+    def name(self) -> str:
+        """Display name, computed lazily (only error paths ever need it)."""
+        return self._name or self._default_name()
+
+    def _default_name(self) -> str:
+        return type(self).__name__
 
     @property
     def triggered(self) -> bool:
@@ -67,22 +102,39 @@ class Event:
 
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
         """Trigger the event successfully, firing after ``delay`` ns."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        # Inlined Simulator._schedule — succeed() is on the wake/completion
+        # hot path and the extra frame is measurable.  Zero delay (the
+        # common case) takes the FIFO now-queue, not the heap.
+        sim = self.sim
+        sim._sequence += 1
+        delay = int(delay)
+        if delay == 0:
+            sim._nowq.append((sim._now, _NORMAL, sim._sequence, self))
+        else:
+            _heappush(sim._heap,
+                      (sim._now + delay, _NORMAL, sim._sequence, self))
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
         """Trigger the event with a failure; waiters see ``exception`` raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"event {self.name!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        sim._sequence += 1
+        delay = int(delay)
+        if delay == 0:
+            sim._nowq.append((sim._now, _NORMAL, sim._sequence, self))
+        else:
+            _heappush(sim._heap,
+                      (sim._now + delay, _NORMAL, sim._sequence, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -108,22 +160,73 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` nanoseconds after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # Inlined Event.__init__: timeouts are the hottest allocation in
+        # the whole simulator and are born already-triggered, so the
+        # pending-state dance of succeed() is pure overhead here.  The
+        # ``defused`` slot is deliberately left unset: every reader is
+        # guarded by ``not _ok`` and a timeout can never fail.
+        self.sim = sim
+        self._name = ""
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._schedule(self, int(delay))
+        self._delay = delay
+        # Inlined Simulator._schedule (see succeed()); int() mirrors the
+        # engine's coercion so a float delay cannot leak into heap keys.
+        sim._sequence += 1
+        delay = int(delay)
+        if delay == 0:
+            sim._nowq.append((sim._now, _NORMAL, sim._sequence, self))
+        else:
+            _heappush(sim._heap,
+                      (sim._now + delay, _NORMAL, sim._sequence, self))
+
+    def _rearm(self, delay: int, value: Any = None) -> "Timeout":
+        """Reschedule a *fired* timeout, recycling the object.
+
+        Strictly an allocation-avoidance hook for single-owner hot loops
+        (port serialization, NIC occupancy, wire delivery): the caller
+        guarantees the timeout has been processed, that nothing else holds
+        a reference, and that ``delay`` is an exact ``int`` (every call
+        site passes cached/derived ints, so ``__init__``'s coercion is
+        skipped).  The schedule produced is byte-identical to constructing
+        a fresh ``Timeout`` — same type, time, priority, and sequence
+        number — so TieAudit digests cannot tell the difference.
+        """
+        self.callbacks = []
+        self._ok = True
+        self._value = value
+        self._delay = delay
+        sim = self.sim
+        sim._sequence += 1
+        if delay == 0:
+            sim._nowq.append((sim._now, _NORMAL, sim._sequence, self))
+        else:
+            _heappush(sim._heap,
+                      (sim._now + delay, _NORMAL, sim._sequence, self))
+        return self
+
+    def _default_name(self) -> str:
+        return f"timeout({self._delay})"
 
 
 class _Condition(Event):
     """Base for AnyOf / AllOf composition over a set of events."""
 
+    __slots__ = ("events", "_done", "late_failures")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._done = 0
+        #: (event name, repr(exception)) for defused children that failed
+        #: after this condition had already triggered.
+        self.late_failures: List[Tuple[str, str]] = []
         if not self.events:
             self.succeed({})
             return
@@ -132,6 +235,20 @@ class _Condition(Event):
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
+            if event._ok is False:
+                # The condition fired without us, so no waiter will ever
+                # see this failure through the condition's value.  Our
+                # registered callback counts as an observer, which would
+                # defuse what step() should have raised — so either
+                # honour an explicit defusal (recording why) or escalate.
+                if event.defused:
+                    self.late_failures.append(
+                        (event.name, repr(event.value)))
+                    return
+                raise SimulationError(
+                    f"child event {event.name!r} failed after condition "
+                    f"{self.name!r} had already triggered: {event.value!r}"
+                ) from event.value
             return
         if not event.ok:
             self.fail(event.value)
@@ -154,12 +271,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when any child event fires (or fails on the first failure)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._done >= 1
 
 
 class AllOf(_Condition):
     """Fires when every child event has fired successfully."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._done == len(self.events)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import Event, Interrupt, _NORMAL
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -28,21 +28,30 @@ class Process(Event):
     generator's return value, or fails with its uncaught exception.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "") -> None:
-        super().__init__(sim, name=name or getattr(
-            generator, "__name__", "process"))
+        super().__init__(sim, name=name)
         if not hasattr(generator, "send"):
             raise TypeError(
                 f"spawn() needs a generator, got {type(generator).__name__}; "
                 "did you forget to call the generator function?")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume once at the current instant.
-        start = Event(sim, name=f"{self.name}:start")
-        start.succeed(None)
-        start.add_callback(self._resume)
+        # Bootstrap: resume once at the current instant.  The start event
+        # is anonymous (naming it would cost an f-string per spawn) and
+        # born triggered, so succeed()'s pending-state checks are skipped.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)
+        sim._sequence += 1      # inlined zero-delay _schedule
+        sim._nowq.append((sim._now, _NORMAL, sim._sequence, start))
         self._waiting_on = start
+
+    def _default_name(self) -> str:
+        return getattr(self._generator, "__name__", "process")
 
     @property
     def alive(self) -> bool:
@@ -73,13 +82,21 @@ class Process(Event):
         interrupt.add_callback(self._resume)
 
     def _resume(self, event: Event) -> None:
-        self._waiting_on = None
-        self.sim._active_process = self
+        # The hottest callback in the simulator: every yield in every
+        # process funnels through here, so it reads private slots
+        # (``_ok``/``_value``) instead of the validating properties and
+        # registers itself on the target without the add_callback frame.
+        sim = self.sim
+        # ``_waiting_on`` is left stale here on purpose: the fired event's
+        # callbacks are already None, so interrupt()'s detach is a no-op
+        # on it, and every exit path below either re-points it or ends
+        # the process.  Clearing it would be a dead store per yield.
+        sim._active_process = self
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
+            if event._ok:
+                target = self._generator.send(event._value)
             else:
-                target = self._generator.throw(event.value)
+                target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -90,12 +107,20 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
-        if not isinstance(target, Event):
+            sim._active_process = None
+        # Duck-typed fast path: reading ``callbacks`` replaces an
+        # isinstance check on every yield; anything that is not an Event
+        # lands in the except branch and gets the full diagnostic.
+        try:
+            callbacks = target.callbacks
+        except AttributeError:
             self._generator.close()
             self.fail(TypeError(
                 f"process {self.name!r} yielded {target!r}; "
                 "processes must yield Event instances"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if callbacks is not None:
+            callbacks.append(self._resume)
+        else:                       # already fired: resume immediately
+            self._resume(target)

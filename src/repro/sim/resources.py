@@ -20,6 +20,20 @@ class StoreFull(RuntimeError):
     """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
 
 
+class _PutEvent(Event):
+    """A pending put: the event plus the item it is trying to deposit.
+
+    ``Event`` is slotted, so the item rides in a declared slot instead of
+    an ad-hoc attribute.
+    """
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: Any, name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.item = item
+
+
 class Store:
     """An unbounded-or-bounded FIFO channel of arbitrary items.
 
@@ -37,7 +51,7 @@ class Store:
         self.capacity = capacity
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[Event] = deque()  # each carries .item
+        self._putters: Deque[_PutEvent] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -48,8 +62,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires once ``item`` has been accepted."""
-        ev = Event(self.sim, name=f"{self.name}:put")
-        ev.item = item  # type: ignore[attr-defined]
+        ev = _PutEvent(self.sim, item, name=f"{self.name}:put")
         if self._getters and not self.items:
             # Hand the item straight to the oldest waiting getter.
             getter = self._getters.popleft()
@@ -90,7 +103,7 @@ class Store:
     def _admit_putter(self) -> None:
         if self._putters and not self.full:
             putter = self._putters.popleft()
-            self.items.append(putter.item)  # type: ignore[attr-defined]
+            self.items.append(putter.item)
             putter.succeed(None)
 
 

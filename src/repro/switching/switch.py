@@ -77,10 +77,13 @@ class Switch(Device):
         segment.hops += 1
         out_index = self.route(segment)
         port = self.ports[out_index]
+        params = self.params
+        size = segment.size
+        pfc = self.pfc_enabled
 
-        lossless = self.pfc_enabled and segment.priority == 0
-        if (port.queued_bytes + segment.size
-                > self.params.switch_port_buffer_bytes and not lossless):
+        lossless = pfc and segment.priority == 0
+        if (port.queued_bytes + size > params.switch_port_buffer_bytes
+                and not lossless):
             # Lossy class (or PFC off): tail-drop at the nominal buffer.
             # The lossless class instead absorbs the transient into PFC
             # headroom — pause frames bound the overshoot.
@@ -94,10 +97,18 @@ class Switch(Device):
                 self.marks += 1
                 self.stats.ecn_marks += 1
 
-        segment._pfc_ingress = in_port  # type: ignore[attr-defined]
-        segment._pfc_switch = self      # type: ignore[attr-defined]
-        self._ingress_bytes[in_port] += segment.size
-        self._check_xoff(in_port)
+        segment.pfc_ingress = in_port
+        segment.pfc_switch = self
+        ingress = self._ingress_bytes[in_port] + size
+        self._ingress_bytes[in_port] = ingress
+        # Inlined _check_xoff fast path: the per-segment common case is
+        # "below the threshold", one compare away.
+        if (pfc and in_port != LOCAL_PORT
+                and ingress > params.pfc_xoff_bytes
+                and not self._paused_upstream[in_port]):
+            self._paused_upstream[in_port] = True
+            self.stats.pause_frames += 1
+            self._notify_upstream(in_port, pause=True)
         port.enqueue(segment)
 
     def pause_port(self, port: int, priority: int, pause: bool) -> None:
@@ -114,15 +125,6 @@ class Switch(Device):
         span = p.ecn_kmax_bytes - p.ecn_kmin_bytes
         probability = p.ecn_pmax * (queue_bytes - p.ecn_kmin_bytes) / span
         return self.rng.bernoulli(probability)
-
-    def _check_xoff(self, in_port: int) -> None:
-        if not self.pfc_enabled or in_port == LOCAL_PORT:
-            return
-        if (self._ingress_bytes[in_port] > self.params.pfc_xoff_bytes
-                and not self._paused_upstream[in_port]):
-            self._paused_upstream[in_port] = True
-            self.stats.pause_frames += 1
-            self._notify_upstream(in_port, pause=True)
 
     def _check_xon(self, in_port: int) -> None:
         if not self.pfc_enabled or in_port == LOCAL_PORT:
@@ -144,9 +146,9 @@ class Switch(Device):
             lambda: device.pause_port(their_port, 0, pause))
 
     def _on_dequeue(self, segment: Segment) -> None:
-        if getattr(segment, "_pfc_switch", None) is not self:
+        if segment.pfc_switch is not self:
             return
-        in_port = segment._pfc_ingress  # type: ignore[attr-defined]
+        in_port = segment.pfc_ingress
         self._ingress_bytes[in_port] -= segment.size
         self._check_xon(in_port)
 

@@ -15,6 +15,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.net.packet import Segment
+from repro.sim.events import Event, Timeout, _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.device import Device
@@ -24,6 +25,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class EgressPort:
     """A FIFO transmit queue feeding one unidirectional wire."""
+
+    __slots__ = ("sim", "params", "name", "bandwidth_bps", "peer",
+                 "peer_port", "queue", "queued_bytes", "paused", "busy",
+                 "on_dequeue", "tx_segments", "tx_bytes", "_tx_started",
+                 "_wake", "_park", "_ser_cache")
 
     def __init__(self, sim: "Simulator", params: "SimParams", name: str,
                  bandwidth_bps: Optional[float] = None,
@@ -42,6 +48,15 @@ class EgressPort:
         self.on_dequeue = on_dequeue
         self.tx_segments = 0
         self.tx_bytes = 0
+        # One persistent tx process per port (spawned lazily on first
+        # traffic) parked on a wake event while idle — spawning a fresh
+        # generator per burst costs a Process + bootstrap Event each time.
+        self._tx_started = False
+        self._wake: Optional[Event] = None
+        self._park: Optional[Event] = None      # recycled idle-wake event
+        # Serialization time depends only on segment size; workloads use a
+        # handful of sizes, so memoizing skips the float math per segment.
+        self._ser_cache: dict = {}
 
     def connect(self, peer: "Device", peer_port: int) -> None:
         """Point the wire at ``peer``'s ingress ``peer_port``."""
@@ -55,8 +70,18 @@ class EgressPort:
             raise RuntimeError(f"egress port {self.name!r} is not connected")
         self.queue.append(segment)
         self.queued_bytes += segment.size
-        segment.enqueued_at = self.sim.now
-        self._kick()
+        segment.enqueued_at = self.sim._now   # direct: per-segment hot path
+        # Inlined _kick (minus its queue check — we just appended): under
+        # load the port is already draining and this is one compare.
+        if not self.busy and not self.paused:
+            self.busy = True
+            if not self._tx_started:
+                self._tx_started = True
+                self.sim.spawn(self._tx_loop(), name=f"{self.name}:tx")
+            else:
+                wake, self._wake = self._wake, None
+                assert wake is not None  # parked loop always leaves its wake
+                wake.succeed(None)
 
     def set_paused(self, paused: bool) -> None:
         """PFC gate: True blocks transmission at the next packet boundary."""
@@ -76,28 +101,92 @@ class EgressPort:
 
     # --------------------------------------------------------------- internal
     def _kick(self) -> None:
-        if not self.busy and not self.paused and self.queue:
-            self.busy = True
+        if self.busy or self.paused or not self.queue:
+            return
+        self.busy = True
+        if not self._tx_started:
+            self._tx_started = True
             self.sim.spawn(self._tx_loop(), name=f"{self.name}:tx")
+        else:
+            wake, self._wake = self._wake, None
+            assert wake is not None  # parked loop always leaves its wake
+            wake.succeed(None)
 
     def _serialization_ns(self, segment: Segment) -> int:
-        wire_bytes = segment.size + self.params.header_bytes
-        return max(1, int(round(wire_bytes * 8 / self.bandwidth_bps * 1e9)))
+        ns = self._ser_cache.get(segment.size)
+        if ns is None:
+            wire_bytes = segment.size + self.params.header_bytes
+            ns = max(1, int(round(wire_bytes * 8 / self.bandwidth_bps * 1e9)))
+            self._ser_cache[segment.size] = ns
+        return ns
 
     def _tx_loop(self):
-        while self.queue and not self.paused:
-            segment = self.queue.popleft()
-            self.queued_bytes -= segment.size
-            yield self.sim.timeout(self._serialization_ns(segment))
-            self.tx_segments += 1
-            self.tx_bytes += segment.size
-            peer, port = self.peer, self.peer_port
-            self.sim.call_after(
-                self.params.link_propagation_ns,
-                lambda seg=segment: peer.receive(seg, port))
-            if self.on_dequeue is not None:
-                self.on_dequeue(segment)
-        self.busy = False
-        # A resume or enqueue may have landed while we were serializing the
-        # final segment; re-check so nothing is stranded.
-        self._kick()
+        sim = self.sim
+        propagation_ns = self.params.link_propagation_ns
+        ser_cache = self._ser_cache
+        queue = self.queue
+        popleft = queue.popleft
+        # The wire's endpoint is fixed once connected (the loop only spawns
+        # after the first enqueue, which requires a peer), so resolve the
+        # receive target once instead of per segment.
+        peer_receive = self.peer.receive
+        peer_port = self.peer_port
+        on_dequeue = self.on_dequeue     # fixed at construction
+
+        # Fired deliver-timeouts come back here for reuse (several can be
+        # in flight at once on a long wire, hence a pool, not a single).
+        deliver_pool: list = []
+
+        def deliver_cb(ev):
+            # Shared across all deliveries on this wire: the segment rides
+            # as the timeout's value, so no per-segment closure is built.
+            peer_receive(ev._value, peer_port)
+            deliver_pool.append(ev)
+
+        # The serialization timeout has exactly one in flight (the loop
+        # blocks on it), so a single recycled object serves every segment.
+        ser_timeout: Optional[Timeout] = None
+        while True:
+            while queue and not self.paused:
+                segment = popleft()
+                ser_ns = ser_cache.get(segment.size)
+                if ser_ns is None:
+                    ser_ns = self._serialization_ns(segment)
+                if ser_timeout is None:
+                    ser_timeout = Timeout(sim, ser_ns)
+                else:
+                    ser_timeout._rearm(ser_ns)
+                yield ser_timeout
+                # Accounting happens at the dequeue-complete instant: the
+                # segment occupies the buffer until it has fully left the
+                # wire, so occupancy-based PFC/ECN decisions never see a
+                # window where bytes vanished while the port is still busy.
+                size = segment.size
+                self.queued_bytes -= size
+                self.tx_segments += 1
+                self.tx_bytes += size
+                # Hand-inlined call_after with the segment as the timeout's
+                # value: zero per-delivery closures, recycled objects.
+                if deliver_pool:
+                    deliver = deliver_pool.pop()._rearm(
+                        propagation_ns, segment)
+                else:
+                    deliver = Timeout(sim, propagation_ns, segment)
+                deliver.callbacks.append(deliver_cb)
+                if on_dequeue is not None:
+                    on_dequeue(segment)
+            # Idle (or paused): park on a wake event until the next kick.
+            # The wake object is recycled across idle transitions — after
+            # it fires nothing else holds a reference (the loop was its
+            # only waiter), so resetting three slots replaces a fresh
+            # allocation per idle gap.
+            self.busy = False
+            wake = self._park
+            if wake is None:
+                wake = self._park = Event(sim)
+            else:
+                wake._value = _PENDING
+                wake._ok = None
+                wake.callbacks = []
+            self._wake = wake
+            yield wake

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
+from repro.analysis import invariants
 from repro.analysis.invariants import check as _invariant
 from repro.rnic.qp import QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest
@@ -141,8 +142,9 @@ class XrdmaChannel:
                and self.state is ChannelState.READY):
             msg = self.pending_send.popleft()
             seq = self.window.next_seq()
-            _invariant(seq not in self.sent, "channel.seq_reuse",
-                       lambda: f"channel {self.channel_id} seq {seq}")
+            if invariants.ENABLED:
+                _invariant(seq not in self.sent, "channel.seq_reuse",
+                           lambda: f"channel {self.channel_id} seq {seq}")
             header = self._make_header(msg, seq)
             self.sent[seq] = msg
             msg.header = header
@@ -255,10 +257,11 @@ class XrdmaChannel:
 
     def _flush_deliveries(self) -> None:
         """Hand the app every message inside the window's ready prefix."""
-        _invariant(self._next_deliver_seq <= self.window.rta,
-                   "channel.delivery_ahead_of_rta",
-                   lambda: f"next_deliver={self._next_deliver_seq} "
-                           f"rta={self.window.rta}")
+        if invariants.ENABLED:
+            _invariant(self._next_deliver_seq <= self.window.rta,
+                       "channel.delivery_ahead_of_rta",
+                       lambda: f"next_deliver={self._next_deliver_seq} "
+                               f"rta={self.window.rta}")
         while self._next_deliver_seq < self.window.rta:
             entry = self._pending_delivery.pop(self._next_deliver_seq, None)
             self._next_deliver_seq += 1
@@ -293,9 +296,10 @@ class XrdmaChannel:
 
     def _start_rendezvous(self, header: XrdmaHeader) -> ProcessGenerator:
         """Receiver-side on-demand buffer + fragmented RDMA Read."""
-        _invariant(header.seq not in self._rendezvous,
-                   "channel.duplicate_rendezvous",
-                   lambda: f"channel {self.channel_id} seq {header.seq}")
+        if invariants.ENABLED:
+            _invariant(header.seq not in self._rendezvous,
+                       "channel.duplicate_rendezvous",
+                       lambda: f"channel {self.channel_id} seq {header.seq}")
         buffer = yield from self.ctx.memcache.alloc(header.payload_size)
         sizes = self.flow.fragment_sizes(header.payload_size)
         rendezvous = _Rendezvous(

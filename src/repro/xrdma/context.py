@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.memory.host import AllocMode
 from repro.rnic.qp import QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest
+from repro.sim.events import Timeout
 from repro.sim.process import ProcessGenerator
 from repro.sim.resources import Store
 from repro.sim.timeunits import MILLIS, SECONDS
@@ -318,15 +319,24 @@ class XrdmaContext:
 
     def _run(self) -> ProcessGenerator:
         config = self.config
-        last_keepalive = self.sim.now
-        last_deadlock = self.sim.now
-        last_shrink = self.sim.now
+        sim = self.sim
+        # Hoisted for the poll hot loop: these bindings are fixed for the
+        # context's lifetime (the CQs are created in __init__ and the poll
+        # entry point is a passthrough to CompletionQueue.poll).
+        poll_cq = self.verbs.poll_cq
+        recv_cq = self.recv_cq
+        send_cq = self.send_cq
+        kicked = self._kicked
+        kicked_set = self._kicked_set
+        last_keepalive = sim.now
+        last_deadlock = sim.now
+        last_shrink = sim.now
         while not self._stopped:
             if self._injected_stall_ns:
                 stall, self._injected_stall_ns = self._injected_stall_ns, 0
-                yield self.sim.timeout(stall)
+                yield sim.timeout(stall)
 
-            round_start = self.sim.now
+            round_start = sim._now
             gap = round_start - self._last_round_ns
             if gap > config.polling_warn_cycle_ns:
                 self.poll_gaps.append(gap)
@@ -335,22 +345,22 @@ class XrdmaContext:
 
             worked = False
             # ---- receive completions
-            for completion in self.verbs.poll_cq(self.recv_cq, 64):
+            for completion in poll_cq(recv_cq, 64):
                 worked = True
                 yield from self._handle_recv_completion(completion)
             # ---- send completions
-            for completion in self.verbs.poll_cq(self.send_cq, 64):
+            for completion in poll_cq(send_cq, 64):
                 worked = True
                 yield from self._handle_send_completion(completion)
             # ---- queued application sends
-            while self._kicked:
-                channel = self._kicked.popleft()
-                self._kicked_set.discard(channel.channel_id)
+            while kicked:
+                channel = kicked.popleft()
+                kicked_set.discard(channel.channel_id)
                 if channel.state is ChannelState.READY:
                     worked = True
                     yield from channel.pump()
             # ---- timers (intervals re-read so set_flag applies live)
-            now = self.sim.now
+            now = sim._now
             if now - last_keepalive >= config.keepalive_intv_ns:
                 last_keepalive = now
                 yield from self._keepalive_round(now)
@@ -363,30 +373,33 @@ class XrdmaContext:
             if self.monitor is not None:
                 self.monitor.maybe_sample(self)
 
-            self._last_round_ns = self.sim.now
+            self._last_round_ns = sim._now
             if worked:
                 self._idle_since = None
-                yield self.sim.timeout(self.params.host_poll_overhead_ns)
+                # Direct construction: once per worked poll round.
+                yield Timeout(sim, self.params.host_poll_overhead_ns)
                 continue
 
             # ---- idle: hybrid polling parks on events
             if self._idle_since is None:
-                self._idle_since = self.sim.now
-            self._wake = self.sim.event(f"{self.name}:wake")
-            self.recv_cq.request_notify(self.kick)
-            self.send_cq.request_notify(self.kick)
+                self._idle_since = sim._now
+            # Static name: one wake per idle transition of the poll loop;
+            # an f-string here would be a per-idle allocation.
+            self._wake = sim.event("ctxwake")
+            recv_cq.request_notify(self.kick)
+            send_cq.request_notify(self.kick)
             deadline = min(last_keepalive + config.keepalive_intv_ns,
                            last_deadlock + config.deadlock_check_intv_ns,
                            last_shrink + _SHRINK_INTV_NS)
-            timer = self.sim.timeout(max(deadline - self.sim.now, 1_000))
-            yield self.sim.any_of([self._wake, timer])
-            woke_after = self.sim.now - self._idle_since
+            timer = sim.timeout(max(deadline - sim._now, 1_000))
+            yield sim.any_of([self._wake, timer])
+            woke_after = sim._now - self._idle_since
             self._wake = None
             mode = config.idle_poll_mode
             if mode == "event" or (mode == "hybrid"
                                    and woke_after > _BUSY_POLL_WINDOW_NS):
                 # Not busy-polling (anymore); pay the epoll wakeup.
-                yield self.sim.timeout(self.params.host_wakeup_ns)
+                yield sim.timeout(self.params.host_wakeup_ns)
 
     def _handle_recv_completion(self,
                                 completion: Completion) -> ProcessGenerator:

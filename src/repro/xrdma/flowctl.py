@@ -53,14 +53,19 @@ class WrBudget:
     def acquire(self) -> None:
         """Charge one slot (caller checked ``available``)."""
         self.in_use += 1
-        _invariant(self.in_use <= self.capacity, "flowctl.budget_overcommit",
-                   lambda: f"in_use={self.in_use} capacity={self.capacity}")
+        # Hot path: test the condition first so the detail closure is only
+        # built on the (never-in-practice) violated branch.
+        if self.in_use > self.capacity:
+            _invariant(False, "flowctl.budget_overcommit",
+                       lambda: f"in_use={self.in_use} "
+                               f"capacity={self.capacity}")
 
     def release(self) -> None:
         """Return one slot; underflow is a protocol bug, not a clamp."""
         self.in_use -= 1
-        if not _invariant(self.in_use >= 0, "flowctl.budget_underflow",
-                          lambda: f"in_use={self.in_use}"):
+        if self.in_use < 0:
+            _invariant(False, "flowctl.budget_underflow",
+                       lambda: f"in_use={self.in_use}")
             self.in_use = 0  # contain in count mode
 
     def enqueue_waiter(self, controller: "FlowController") -> None:
@@ -171,9 +176,9 @@ class FlowController:
             self._abandoned -= 1
             return
         self.outstanding -= 1
-        if not _invariant(self.outstanding >= 0,
-                          "flowctl.outstanding_underflow",
-                          lambda: f"qpn={self.qp.qpn}"):
+        if self.outstanding < 0:
+            _invariant(False, "flowctl.outstanding_underflow",
+                       lambda: f"qpn={self.qp.qpn}")
             self.outstanding = 0
         if self.budget is not None and self.budget_held > 0:
             self.budget_held -= 1

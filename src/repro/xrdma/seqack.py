@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis import invariants
 from repro.analysis.invariants import check as _invariant
 
 
@@ -133,7 +134,14 @@ class SeqAckWindow:
 
     # ------------------------------------------------------------ invariants
     def _audit(self) -> None:
-        """Inline sanitizer hooks after every state mutation."""
+        """Inline sanitizer hooks after every state mutation.
+
+        Pure assertions (no clamping), so the whole body is gated on the
+        sanitizer flag — _audit runs after *every* window mutation and
+        would otherwise allocate four detail closures each time.
+        """
+        if not invariants.ENABLED:
+            return
         _invariant(self.acked <= self.seq, "seqack.acked_gt_seq",
                    lambda: f"acked={self.acked} seq={self.seq}")
         _invariant(self.in_flight <= self.depth, "seqack.in_flight_bounds",

@@ -1,0 +1,197 @@
+"""Golden-digest equivalence: the optimized hot path fires the same schedule.
+
+The PR 3 optimizations (slotted events, lazy names, the persistent port
+tx process, the invariant fast path, the bucketed memcache free list,
+the inlined run loops) are only safe because the schedule is provably
+unchanged.  Each scenario here runs under :class:`TieAudit` and must
+reproduce the checked-in golden digest byte for byte, with zero tie
+anomalies.  Any engine change that reorders, adds, or drops events —
+however "equivalent" it looks — fails loudly.
+
+To bless an *intentional* schedule change, regenerate the goldens:
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest -q \
+        tests/scenarios/test_digest_equivalence.py
+
+then review the diff of ``golden_digests.json`` like any other code.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import invariants
+from repro.cluster import build_cluster
+from repro.sim import Simulator
+from repro.xrdma.memcache import MemCache
+
+from tests.scenarios.test_determinism import run_incast
+
+GOLDEN_PATH = Path(__file__).with_name("golden_digests.json")
+
+
+# ------------------------------------------------------------- scenarios
+def run_timer_churn():
+    """Pure-engine schedule: timeout allocation, heap order, resume."""
+    sim = Simulator()
+    audit = sim.enable_tie_audit()
+
+    def churner(index):
+        for round_no in range(40):
+            yield sim.timeout((index * 7919 + round_no * 104729) % 997 + 1)
+
+    for index in range(25):
+        sim.spawn(churner(index))
+    sim.run()
+    return audit
+
+
+def run_memcache_churn():
+    """Grow/shrink churn: the arena (MR registration) event schedule.
+
+    Placement inside an arena is schedule-invisible (sub-allocation never
+    yields), so this scenario drives what *is* visible: repeated growth
+    under fragmented load and shrink cycles that force re-registration —
+    if the allocator packs differently, the growth schedule moves.
+    """
+    cluster = build_cluster(1, seed=5)
+    audit = cluster.sim.enable_tie_audit()
+    host = cluster.host(0)
+    cache = MemCache(host.verbs, host.verbs.alloc_pd(), mr_bytes=128 * 1024)
+    sizes = [256, 4096, 1024, 16 * 1024, 512, 64 * 1024, 2048, 8192]
+
+    def churn():
+        for round_no in range(6):
+            live = []
+            for op in range(40):
+                buffer = yield from cache.alloc(
+                    sizes[(op + round_no) % len(sizes)])
+                live.append(buffer)
+                if len(live) >= 24:
+                    cache.free(live.pop(0))
+                    cache.free(live.pop(len(live) // 2))
+            for buffer in live:
+                cache.free(buffer)
+            cache.shrink()
+
+    proc = cluster.sim.spawn(churn())
+    cluster.sim.run_until_event(proc)
+    return audit
+
+
+def run_incast_audit(seed):
+    audit, _result = run_incast(seed)
+    return audit
+
+
+SCENARIOS = {
+    "incast-seed11": lambda: run_incast_audit(11),
+    "incast-seed12": lambda: run_incast_audit(12),
+    "timer-churn": run_timer_churn,
+    "memcache-churn": run_memcache_churn,
+}
+
+
+def _load_golden():
+    with GOLDEN_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _update_golden(name, audit):
+    golden = _load_golden() if GOLDEN_PATH.exists() else {}
+    golden[name] = {"digest": audit.digest(), "pops": audit.pops}
+    with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------- tests
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_matches_golden_digest(name):
+    audit = SCENARIOS[name]()
+    assert audit.pops >= 30, "scenario too small to pin anything"
+    assert audit.anomalies == 0, audit.summary()
+    if os.environ.get("REGEN_GOLDEN"):
+        _update_golden(name, audit)
+        pytest.skip(f"regenerated golden digest for {name}")
+    golden = _load_golden()[name]
+    assert audit.pops == golden["pops"], audit.summary()
+    assert audit.digest() == golden["digest"], (
+        f"{name}: schedule changed — if intentional, regenerate goldens "
+        f"(see module docstring) and review the diff")
+
+
+def test_disabled_invariants_do_not_change_the_schedule():
+    """The sanitizer fast path must be schedule-neutral.
+
+    The gated call sites skip closure allocation when no registry is
+    installed; none of that may create, drop, or reorder events.  The
+    autouse fixture installs a fatal registry, so the "on" run is the
+    fixture default and the "off" run uninstalls it temporarily.
+    """
+    audit_on = SCENARIOS["incast-seed11"]()
+    assert invariants.enabled(), "expected the autouse fatal registry"
+    saved = invariants.uninstall()
+    try:
+        audit_off = SCENARIOS["incast-seed11"]()
+    finally:
+        invariants.install(saved)
+    assert audit_on.digest() == audit_off.digest()
+    assert audit_on.pops == audit_off.pops
+
+
+def test_bucketed_free_list_is_first_fit_equivalent():
+    """Placement-level proof: the bucketed arena returns the exact
+    addresses a naive address-sorted first-fit scan would."""
+    from repro.xrdma.memcache import _Arena
+
+    class _FakeMr:
+        addr, length = 0x4000, 1 << 20
+
+    class _ReferenceArena:
+        """The pre-PR free list: address-sorted scan + sort-based merge."""
+
+        def __init__(self):
+            self.free = [(_FakeMr.addr, _FakeMr.length)]
+
+        def alloc(self, size):
+            for index, (addr, length) in enumerate(self.free):
+                if length >= size:
+                    if length == size:
+                        del self.free[index]
+                    else:
+                        self.free[index] = (addr + size, length - size)
+                    return addr
+            return None
+
+        def release(self, addr, size):
+            self.free.append((addr, size))
+            self.free.sort()
+            merged = []
+            for a, length in self.free:
+                if merged and merged[-1][0] + merged[-1][1] == a:
+                    merged[-1] = (merged[-1][0], merged[-1][1] + length)
+                else:
+                    merged.append((a, length))
+            self.free = merged
+
+    bucketed, reference = _Arena(_FakeMr()), _ReferenceArena()
+    sizes = [64, 256, 1024, 4096, 16384, 65536]
+    live = []
+    state = 12345
+    for step in range(6000):
+        state = (state * 1103515245 + 12721) % (1 << 31)   # deterministic LCG
+        if live and state % 100 < 45:
+            addr, size = live.pop(state % len(live))
+            bucketed.release(addr, size)
+            reference.release(addr, size)
+        else:
+            size = sizes[state % len(sizes)]
+            got = bucketed.alloc(size)
+            want = reference.alloc(size)
+            assert got == want, f"step {step}: {got} != {want}"
+            if got is not None:
+                live.append((got, size))
+        assert bucketed.free == reference.free, f"step {step}"
