@@ -2,10 +2,15 @@
 
 Every benchmark regenerates one of the paper's tables/figures: it runs the
 scenario inside pytest-benchmark (so wall-clock cost is tracked), prints the
-paper-style rows, writes them to ``benchmarks/results/``, and asserts the
-qualitative *shape* the paper reports.
+paper-style rows, and asserts the qualitative *shape* the paper reports.
+
+Tables are persisted to ``benchmarks/results/`` only when
+``XR_WRITE_RESULTS=1`` is set: a plain ``pytest`` run must leave ``git
+status`` clean (regenerating committed tables on every developer run made
+every benchmark invocation dirty the tree).
 """
 
+import os
 import pathlib
 
 import pytest
@@ -29,12 +34,18 @@ def counting_invariants():
 
 
 def emit(name: str, lines):
-    """Print a result table and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Print a result table; persist it only when explicitly asked.
+
+    Set ``XR_WRITE_RESULTS=1`` to (re)generate the committed
+    ``benchmarks/results/`` tables.  The default is print-only so a plain
+    ``pytest`` run never touches the working tree.
+    """
     text = "\n".join(lines)
     print(f"\n===== {name} =====")
     print(text)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if os.environ.get("XR_WRITE_RESULTS") == "1":
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
 @pytest.fixture

@@ -1,0 +1,71 @@
+"""``xr_bench --baseline`` error paths: fail fast, fail loud.
+
+A CI job pointing at a deleted trajectory file or the wrong mode section
+must exit 2 *before* the suite runs, with a one-line diagnostic on
+stderr — the silent-skip failure mode (bench runs, comparison quietly
+does nothing, regressions sail through) is exactly what these pin down.
+"""
+
+import json
+
+from repro.tools import xr_bench
+
+
+def run(argv):
+    return xr_bench.main(argv)
+
+
+class TestBaselineUsageErrors:
+    def test_missing_file_exits_2_before_running_suite(self, tmp_path,
+                                                       capsys):
+        missing = tmp_path / "nope.json"
+        code = run(["--quick", "--baseline", str(missing)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot read baseline" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        # Fail-fast contract: no bench output was produced at all.
+        assert "xr-bench [quick]" not in captured.out
+
+    def test_missing_mode_section_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "full_only.json"
+        baseline.write_text(json.dumps(
+            {"full": {"after": {"timer-churn": {"events_per_sec": 1}}}}))
+        code = run(["--quick", "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no 'quick' section" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "xr-bench [quick]" not in captured.out
+
+    def test_unparsable_baseline_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "torn.json"
+        baseline.write_text('{"mode": "quick", "benches": {')
+        code = run(["--quick", "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not valid JSON" in captured.err
+
+    def test_wrong_mode_results_file_exits_2(self, tmp_path, capsys):
+        # A results file written by a *full* run used against --quick.
+        baseline = tmp_path / "full_results.json"
+        baseline.write_text(json.dumps(
+            {"mode": "full",
+             "benches": {"timer-churn": {"events_per_sec": 1}}}))
+        code = run(["--quick", "--baseline", str(baseline)])
+        assert code == 2
+        assert "no 'quick' section" in capsys.readouterr().err
+
+
+class TestBaselineHappyPath:
+    def test_valid_baseline_still_compares(self, tmp_path, capsys):
+        baseline = tmp_path / "ok.json"
+        baseline.write_text(json.dumps(
+            {"mode": "quick",
+             "benches": {"timer-churn": {"events_per_sec": 1}}}))
+        code = run(["--quick", "--only", "timer-churn",
+                    "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "timer-churn" in captured.out
+        assert captured.err == ""

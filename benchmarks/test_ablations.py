@@ -7,38 +7,29 @@ with sweeps on our substrate:
 * small-message threshold around the 4 KB default (Sec. IV-C),
 * seq-ack window depth (Sec. V-B),
 * memory-cache MR size: LITE-style 4 KB MRs vs X-RDMA's 4 MB (Sec. IV-E).
+
+The sweep bodies live in :mod:`repro.fleet.scenarios` — one
+implementation serves both these inline benchmarks (seed 0, assertions on
+the paper's qualitative claims) and the parallel fleet sweeps
+(``python -m repro.tools.xr_fleet run --spec ablation-grid``) that
+regenerate the EXPERIMENTS.md tables across seeds.
 """
 
-from statistics import mean
-
-import pytest
-
-from repro.cluster import build_cluster
-from repro.sim import MICROS, SECONDS
-from repro.sim.params import congested_params
-from repro.tools import XrPerf
-from repro.xrdma import XrdmaConfig
-from repro.xrdma.memcache import MemCache
+from repro.fleet.runner import run_scenario_inline
 
 from .conftest import emit
 
 
-SOURCES = [src for src in range(4) for _ in range(4)]
-
-
-def incast_goodput(config: XrdmaConfig) -> float:
-    cluster = build_cluster(5, params=congested_params())
-    perf = XrPerf(cluster)
-    result = perf.run_incast(SOURCES, 4, size=256 * 1024,
-                             messages_per_source=8, config=config)
-    return result.goodput_gbps
+def metrics(scenario: str, params: dict) -> dict:
+    return run_scenario_inline(scenario, params, seed=0)["metrics"]
 
 
 def test_ablation_fragment_size(once):
     sizes = [4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024]
 
     def run():
-        return {size: incast_goodput(XrdmaConfig(fragment_bytes=size))
+        return {size: metrics("fragment-incast",
+                              {"fragment_bytes": size})["goodput_gbps"]
                 for size in sizes}
 
     rows = once(run)
@@ -62,42 +53,20 @@ def test_ablation_fragment_size(once):
     assert rows[256 * 1024] < rows[best] * 0.8
 
 
-def rpc_latency(config: XrdmaConfig, size: int) -> float:
-    cluster = build_cluster(2)
-    client = cluster.xrdma_context(0, config=config)
-    server = cluster.xrdma_context(1, config=config)
-    accepted = server.listen(8650)
-    latencies = []
-
-    def scenario():
-        channel = yield from client.connect(1, 8650)
-        server_channel = yield accepted.get()
-        server_channel.on_request = \
-            lambda msg: server.send_response(msg, 64)
-        for index in range(16):
-            t0 = cluster.sim.now
-            request = client.send_request(channel, size)
-            yield request.response
-            if index >= 3:
-                latencies.append(cluster.sim.now - t0)
-
-    proc = cluster.sim.spawn(scenario())
-    cluster.sim.run_until_event(proc, limit=60 * SECONDS)
-    return mean(latencies) / 1000
-
-
 def test_ablation_small_message_threshold(once):
     """2 KB payloads: eager vs rendezvous — the 4 KB default keeps them
     on the fast path; memory cost is the tradeoff."""
     def run():
-        eager = rpc_latency(XrdmaConfig(small_msg_size=4096), 2048)
-        rendezvous = rpc_latency(XrdmaConfig(small_msg_size=1024), 2048)
-        return eager, rendezvous
+        return (metrics("rpc-latency", {"small_msg_size": 4096}),
+                metrics("rpc-latency", {"small_msg_size": 1024}))
 
-    eager_us, rendezvous_us = once(run)
+    eager, rendezvous = once(run)
+    assert eager["eager"] and not rendezvous["eager"]
+    eager_us = eager["rtt_us"]
+    rendezvous_us = rendezvous["rtt_us"]
     # Receive-ring memory per channel scales with the threshold:
-    depth_bytes_4k = (4096 + 64) * 36
-    depth_bytes_1k = (1024 + 64) * 36
+    depth_bytes_4k = eager["recv_ring_bytes_per_channel"]
+    depth_bytes_1k = rendezvous["recv_ring_bytes_per_channel"]
     lines = [
         f"{'threshold':<12} {'2KB RPC rtt (us)':>17} {'recv ring B/ch':>15}",
         f"{'4096 (eager)':<12} {eager_us:>17.2f} {depth_bytes_4k:>15}",
@@ -115,36 +84,10 @@ def test_ablation_window_depth(once):
     """Deeper windows raise one-way throughput until the pipe saturates."""
     depths = [4, 16, 64]
 
-    def throughput(depth: int) -> float:
-        cluster = build_cluster(2)
-        config = XrdmaConfig(inflight_depth=depth)
-        client = cluster.xrdma_context(0, config=config)
-        server = cluster.xrdma_context(1, config=config)
-        server.listen(8660)
-        sim = cluster.sim
-        received = []
-
-        def sink():
-            while True:
-                msg = yield server.incoming.get()
-                received.append(sim.now)
-
-        sim.spawn(sink())
-
-        def producer():
-            channel = yield from client.connect(1, 8660)
-            for _ in range(400):
-                client.send_msg(channel, 2048)
-            while len(received) < 400:
-                yield sim.timeout(50 * MICROS)
-
-        proc = sim.spawn(producer())
-        t0 = sim.now
-        sim.run_until_event(proc, limit=60 * SECONDS)
-        return 400 * 2048 * 8 / (sim.now - t0)   # Gbps
-
     def run():
-        return {depth: throughput(depth) for depth in depths}
+        return {depth: metrics("window-throughput",
+                               {"inflight_depth": depth})["throughput_gbps"]
+                for depth in depths}
 
     rows = once(run)
     lines = [f"{'depth':>6} {'throughput(Gbps)':>17}"]
@@ -157,38 +100,23 @@ def test_ablation_window_depth(once):
 
 def test_ablation_mr_size(once):
     """LITE-style 4 KB MRs multiply registrations; 4 MB arenas amortize."""
-    def registrations(mr_bytes: int):
-        cluster = build_cluster(1)
-        host = cluster.host(0)
-        pd = host.verbs.alloc_pd()
-        cache = MemCache(host.verbs, pd, mr_bytes=mr_bytes)
-
-        def scenario():
-            buffers = []
-            for _ in range(256):
-                buffer = yield from cache.alloc(4096)
-                buffers.append(buffer)
-            return buffers
-
-        t0 = cluster.sim.now
-        proc = cluster.sim.spawn(scenario())
-        cluster.sim.run_until_event(proc, limit=60 * SECONDS)
-        return cache.mr_count, (cluster.sim.now - t0) / 1000
-
     def run():
-        return {"4KB MRs (LITE)": registrations(4096),
-                "4MB MRs (X-RDMA)": registrations(4 * 1024 * 1024)}
+        return {"4KB MRs (LITE)": metrics("mr-registration",
+                                          {"mr_bytes": 4096}),
+                "4MB MRs (X-RDMA)": metrics("mr-registration",
+                                            {"mr_bytes": 4 * 1024 * 1024})}
 
     rows = once(run)
     lines = [f"{'arena':<18} {'MRs':>5} {'alloc 256x4KB (us)':>19}"]
-    for name, (count, micros) in rows.items():
-        lines.append(f"{name:<18} {count:>5} {micros:>19.0f}")
+    for name, result in rows.items():
+        lines.append(f"{name:<18} {result['mr_count']:>5} "
+                     f"{result['alloc_us']:>19.0f}")
     lines.append("")
     lines.append("paper: LITE showed MR-count pressure beyond ~1000 MRs; "
                  "X-RDMA uses 4MB MRs to keep the count low (Sec. IV-E)")
     emit("ablation_mr_size", lines)
 
-    lite_count, lite_us = rows["4KB MRs (LITE)"]
-    xrdma_count, xrdma_us = rows["4MB MRs (X-RDMA)"]
-    assert lite_count == 256 and xrdma_count == 1
-    assert xrdma_us < lite_us / 5
+    lite = rows["4KB MRs (LITE)"]
+    xrdma = rows["4MB MRs (X-RDMA)"]
+    assert lite["mr_count"] == 256 and xrdma["mr_count"] == 1
+    assert xrdma["alloc_us"] < lite["alloc_us"] / 5

@@ -8,47 +8,34 @@ and drives TX pause frames to ~zero.
 Scaled here to 32 channels (8 hosts × 4) into one sink over shallow
 switch buffers.  Assertions are on the paper's qualitative claims:
 goodput up, CNPs slashed, pauses eliminated, retransmissions gone.
+
+The workload itself is the fleet's ``fig10-incast`` scenario
+(:data:`repro.fleet.scenarios.FIG10_WORKLOADS` defines the presets); the
+multi-seed sweep behind the committed table runs via
+``python -m repro.tools.xr_fleet run --spec fig10``.
 """
 
-import pytest
-
-from repro.cluster import build_cluster
-from repro.sim import SECONDS
-from repro.sim.params import congested_params
-from repro.tools import XrPerf
-from repro.xrdma import XrdmaConfig
+from repro.fleet.runner import run_scenario_inline
+from repro.fleet.scenarios import FIG10_WORKLOADS
 
 from .conftest import emit
-
-SOURCES = [s for s in range(8) for _ in range(4)]   # 32 connections
-SINK = 8
-
-
-def run_incast(flow_control: bool, size: int, messages: int):
-    cluster = build_cluster(9, params=congested_params())
-    perf = XrPerf(cluster)
-    config = XrdmaConfig(flow_control=flow_control)
-    return perf.run_incast(SOURCES, SINK, size=size,
-                           messages_per_source=messages, config=config)
 
 
 def test_fig10_flow_control(once):
     def run():
-        return {
-            "128KB": run_incast(False, 128 * 1024, 15),
-            "128KB-fc": run_incast(True, 128 * 1024, 15),
-            "64KB": run_incast(False, 64 * 1024, 30),
-        }
+        return {label: run_scenario_inline(
+                    "fig10-incast", {"workload": label}, seed=0)["metrics"]
+                for label in FIG10_WORKLOADS}
 
     results = once(run)
     lines = [f"{'workload':<10} {'goodput(Gbps)':>14} {'CNP':>7} "
              f"{'TX-pause':>9} {'retx':>6}"]
     for name, result in results.items():
         lines.append(
-            f"{name:<10} {result.goodput_gbps:>14.2f} "
-            f"{result.crucial['cnps_sent']:>7} "
-            f"{result.crucial['pause_frames']:>9} "
-            f"{result.crucial['retransmissions']:>6}")
+            f"{name:<10} {result['goodput_gbps']:>14.2f} "
+            f"{result['cnps_sent']:>7} "
+            f"{result['pause_frames']:>9} "
+            f"{result['retransmissions']:>6}")
     lines.append("")
     lines.append("paper: fc improves bandwidth ~24%, CNP falls to 1-2%, "
                  "TX pause to ~0")
@@ -57,15 +44,14 @@ def test_fig10_flow_control(once):
     base = results["128KB"]
     with_fc = results["128KB-fc"]
     # Bandwidth improves by at least the paper's ~24%.
-    assert with_fc.goodput_gbps > base.goodput_gbps * 1.20
+    assert with_fc["goodput_gbps"] > base["goodput_gbps"] * 1.20
     # CNPs collapse (paper: to 1-2%; we accept anything under 40%).
-    assert with_fc.crucial["cnps_sent"] < base.crucial["cnps_sent"] * 0.4
+    assert with_fc["cnps_sent"] < base["cnps_sent"] * 0.4
     # TX pause frames are all but eliminated.
-    assert with_fc.crucial["pause_frames"] < \
-        max(base.crucial["pause_frames"] * 0.1, 30)
+    assert with_fc["pause_frames"] < max(base["pause_frames"] * 0.1, 30)
     # And RC-level retransmissions disappear entirely.
-    assert with_fc.crucial["retransmissions"] == 0
+    assert with_fc["retransmissions"] == 0
     # 64 KB without fc sits between: smaller bursts help but the
     # uncapped demand still congests.
     small = results["64KB"]
-    assert small.crucial["cnps_sent"] > with_fc.crucial["cnps_sent"]
+    assert small["cnps_sent"] > with_fc["cnps_sent"]

@@ -1,0 +1,57 @@
+"""A plain ``pytest`` run must never dirty ``benchmarks/results/``.
+
+The committed tables are regenerated deliberately (``XR_WRITE_RESULTS=1``)
+or by the fleet, not as a side effect of every benchmark invocation.
+"""
+
+import os
+import pathlib
+import subprocess
+
+import pytest
+
+from benchmarks import conftest as bench_conftest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestEmitGating:
+    def test_emit_is_print_only_by_default(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.delenv("XR_WRITE_RESULTS", raising=False)
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR",
+                            tmp_path / "results")
+        bench_conftest.emit("probe", ["row 1", "row 2"])
+        assert "===== probe =====" in capsys.readouterr().out
+        assert not (tmp_path / "results").exists()
+
+    def test_emit_writes_when_opted_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XR_WRITE_RESULTS", "1")
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR",
+                            tmp_path / "results")
+        bench_conftest.emit("probe", ["row 1", "row 2"])
+        assert (tmp_path / "results" / "probe.txt").read_text() \
+            == "row 1\nrow 2\n"
+
+    def test_emit_requires_exactly_1(self, tmp_path, monkeypatch):
+        # "true"/"yes" are not the contract; only "1" opts in.
+        monkeypatch.setenv("XR_WRITE_RESULTS", "yes")
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR",
+                            tmp_path / "results")
+        bench_conftest.emit("probe", ["row"])
+        assert not (tmp_path / "results").exists()
+
+
+def test_results_dir_clean_in_git():
+    """Catch *any* writer, not just emit(): the committed results files
+    must be unmodified at the time this test runs."""
+    if os.environ.get("XR_WRITE_RESULTS") == "1":
+        pytest.skip("regeneration run: results are supposed to change")
+    proc = subprocess.run(  # xr-lint: disable=blocking-call
+        ["git", "status", "--porcelain", "--", "benchmarks/results"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=30)
+    if proc.returncode != 0:
+        pytest.skip(f"git unavailable: {proc.stderr.strip()}")
+    assert proc.stdout.strip() == "", (
+        "benchmarks/results/ modified by a test run without "
+        f"XR_WRITE_RESULTS=1:\n{proc.stdout}")

@@ -1,0 +1,113 @@
+"""Built-in experiment specs: the paper sweeps as fleet work.
+
+Two scales per sweep:
+
+* **full** — the grids EXPERIMENTS.md tables are regenerated from, three
+  seeds per grid point so aggregate tables carry real percentiles.
+* **quick** (``--quick``) — single-seed, trimmed grids; what CI's
+  ``fleet-smoke`` job runs (with the jobs-invariance byte check) and
+  what the committed invariance test uses at its smallest.
+
+``specs_for(...)`` is the one lookup the CLI and tests share.  Spec
+construction is deliberately free of environment queries — a spec set is
+a pure value, so the expansion (and therefore every run_id) is identical
+on any machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fleet.spec import ExperimentSpec
+
+__all__ = ["SPEC_SETS", "specs_for", "spec_names"]
+
+KB = 1024
+MB = 1024 * 1024
+
+#: generous per-run wall budget (these are single-digit-second sims; a
+#: minute means something is wrong) and an event budget far above any
+#: healthy run of these scales.
+_TIMEOUT_S = 300.0
+_MAX_EVENTS = 20_000_000
+
+
+def _ablation_specs(quick: bool) -> List[ExperimentSpec]:
+    seeds = [0] if quick else [0, 1, 2]
+    fragment_sizes = ([4 * KB, 64 * KB, 256 * KB] if quick
+                      else [4 * KB, 16 * KB, 64 * KB, 256 * KB])
+    depths = [4, 64] if quick else [4, 16, 64]
+    thresholds = [1024, 4096]
+    mr_sizes = [4 * KB, 4 * MB]
+    common = dict(seeds=seeds, timeout_s=_TIMEOUT_S,
+                  max_events=_MAX_EVENTS)
+    return [
+        ExperimentSpec(
+            name="ablation-fragment-size", scenario="fragment-incast",
+            grid={"fragment_bytes": fragment_sizes},
+            description="incast goodput vs fragment size (Sec. V-C)",
+            **common),
+        ExperimentSpec(
+            name="ablation-window-depth", scenario="window-throughput",
+            grid={"inflight_depth": depths},
+            description="one-way throughput vs seq-ack window (Sec. V-B)",
+            **common),
+        ExperimentSpec(
+            name="ablation-small-msg-threshold", scenario="rpc-latency",
+            grid={"small_msg_size": thresholds},
+            description="2KB RPC latency: eager vs rendezvous (Sec. IV-C)",
+            **common),
+        ExperimentSpec(
+            name="ablation-mr-size", scenario="mr-registration",
+            grid={"mr_bytes": mr_sizes},
+            description="MR count / alloc latency vs arena size (Sec. IV-E)",
+            **common),
+    ]
+
+
+def _fig10_specs(quick: bool) -> List[ExperimentSpec]:
+    seeds = [0] if quick else [0, 1, 2]
+    grid = {"workload": ["128KB", "128KB-fc", "64KB"]}
+    if quick:
+        grid["n_sources"] = [4]
+    return [ExperimentSpec(
+        name="fig10-flow-control", scenario="fig10-incast", grid=grid,
+        seeds=seeds, timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+        description="incast with/without flow control (Fig. 10)")]
+
+
+def _smoke_specs(quick: bool) -> List[ExperimentSpec]:
+    del quick           # already minimal by construction
+    return [ExperimentSpec(
+        name="smoke", scenario="smoke-incast",
+        grid={"fragment_bytes": [16 * KB, 64 * KB]}, seeds=[0, 1, 2],
+        timeout_s=60.0, max_events=2_000_000,
+        description="tiny incast grid for pool/CI smoke and invariance "
+                    "checks")]
+
+
+SPEC_SETS = {
+    "ablation-grid": _ablation_specs,
+    "fig10": _fig10_specs,
+    "smoke": _smoke_specs,
+}
+
+
+def spec_names() -> List[str]:
+    return sorted(SPEC_SETS)
+
+
+def specs_for(names: List[str], quick: bool = False) -> List[ExperimentSpec]:
+    """Resolve spec-set names (or ``all``) into concrete specs."""
+    if not names or names == ["all"]:
+        names = spec_names()
+    specs: Dict[str, ExperimentSpec] = {}
+    for name in names:
+        builder = SPEC_SETS.get(name)
+        if builder is None:
+            raise KeyError(
+                f"unknown spec set {name!r}; choose from "
+                f"{', '.join(spec_names())} or 'all'")
+        for spec in builder(quick):
+            specs[spec.name] = spec
+    return [specs[name] for name in sorted(specs)]

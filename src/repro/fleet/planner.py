@@ -1,0 +1,72 @@
+"""Deterministic planning: canonical order and stable sharding.
+
+The planner turns specs into the one total order every part of the fleet
+agrees on.  Two properties matter:
+
+* **Worker-count independence** — the plan (unit identity *and* order) is
+  a pure function of the specs.  ``--jobs 1`` and ``--jobs 8`` dispatch
+  the same units in the same order; only completion interleaving differs,
+  and the store/aggregator canonicalize that away.
+* **Stable sharding** — :func:`shard_of` hashes the run_id itself
+  (SHA-256, not Python's salted ``hash()``), so a unit lands on the same
+  shard in every process, on every machine, for any shard count it is
+  asked about.  ``--shard K/N`` sweeps on different machines therefore
+  partition perfectly without coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+from repro.fleet.spec import ExperimentSpec, RunUnit
+
+__all__ = ["plan", "shard_of", "shard_filter", "shard_histogram"]
+
+
+def plan(specs: Sequence[ExperimentSpec]) -> List[RunUnit]:
+    """Expand ``specs`` into the canonical run-unit order.
+
+    Units are ordered by (experiment name, expansion order); duplicate
+    experiment names or run ids are an error — silent collisions would
+    make records overwrite each other in the store.
+    """
+    seen_specs: Dict[str, str] = {}
+    units: List[RunUnit] = []
+    for spec in sorted(specs, key=lambda s: s.name):
+        if spec.name in seen_specs:
+            raise ValueError(f"duplicate experiment name {spec.name!r}")
+        seen_specs[spec.name] = spec.scenario
+        units.extend(spec.expand())
+    seen_ids = set()
+    for unit in units:
+        if unit.run_id in seen_ids:
+            raise ValueError(f"duplicate run id {unit.run_id!r}")
+        seen_ids.add(unit.run_id)
+    return units
+
+
+def shard_of(run_id: str, n_shards: int) -> int:
+    """The shard ``run_id`` belongs to, stable across processes/machines."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.sha256(run_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def shard_filter(units: Iterable[RunUnit], shard: int,
+                 n_shards: int) -> List[RunUnit]:
+    """The subset of ``units`` owned by ``shard`` (0-based) of ``n_shards``."""
+    if not 0 <= shard < n_shards:
+        raise ValueError(f"shard {shard} out of range for {n_shards} shards")
+    return [unit for unit in units
+            if shard_of(unit.run_id, n_shards) == shard]
+
+
+def shard_histogram(units: Iterable[RunUnit],
+                    n_shards: int) -> List[int]:
+    """Units per shard — used by ``status`` to show balance."""
+    counts = [0] * n_shards
+    for unit in units:
+        counts[shard_of(unit.run_id, n_shards)] += 1
+    return counts

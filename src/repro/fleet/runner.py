@@ -1,0 +1,240 @@
+"""Executing one run unit: the in-worker half of the fleet.
+
+:func:`execute_unit` is what a pool worker calls for each task.  It wires
+the determinism and self-checking machinery around an arbitrary scenario
+callable:
+
+* a :class:`RunContext` whose ``build_cluster`` seeds every cluster from
+  the unit's seed and enables the TieAudit schedule digest,
+* a count-mode invariant registry (unless the hosting process already
+  installed one — benchmarks run inline under their own),
+* engine runaway guards (``max_events`` plus a wall budget slightly under
+  the supervisor's kill deadline, so most runaways die as recorded
+  failures instead of SIGKILLs),
+* metric sanitation — a scenario returning non-JSON metrics is a failed
+  run, not a crashed sweep.
+
+The resulting record is a plain dict ready for the JSONL store.  Nothing
+in it except the explicitly wall-clock fields (``wall_s``) depends on
+host timing, which is what the aggregator's byte-identity rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analysis import invariants
+from repro.analysis.monitor import Monitor
+from repro.cluster import Cluster, build_cluster
+from repro.sim.engine import Simulator
+from repro.sim.params import SimParams
+
+__all__ = ["RunContext", "ScenarioFn", "execute_unit", "resolve_scenario",
+           "run_scenario_inline"]
+
+ScenarioFn = Callable[["RunContext"], Optional[Dict[str, Any]]]
+
+#: headroom between the in-engine wall guard and the supervisor's kill
+#: deadline: the guard should fire first so the run records a reasoned
+#: failure; the kill is the backstop for scenarios stuck outside the
+#: engine loop entirely.
+GUARD_HEADROOM = 0.75
+
+
+def _wall() -> float:
+    """Host wall clock; only ever recorded in ``wall_s`` fields, which the
+    aggregator excludes from jobs-invariant output."""
+    return time.monotonic()  # xr-lint: disable=wall-clock
+
+
+class RunContext:
+    """What a scenario callable receives: parameters, seed, and factories.
+
+    Scenarios must create clusters through :meth:`build_cluster` (never
+    :func:`repro.cluster.build_cluster` directly) so the run's seed,
+    schedule digest, and runaway guards are applied uniformly.
+    """
+
+    def __init__(self, params: Dict[str, Any], seed: int, attempt: int = 0,
+                 max_events: Optional[int] = None,
+                 wall_timeout_s: Optional[float] = None) -> None:
+        self.params = params
+        self.seed = seed
+        self.attempt = attempt
+        self._max_events = max_events
+        self._wall_timeout_s = wall_timeout_s
+        self._sims: List[Simulator] = []
+        self._monitors: List[Monitor] = []
+
+    # ------------------------------------------------------------ factories
+    def build_cluster(self, n_hosts: int = 4,
+                      params: Optional[SimParams] = None,
+                      **dims: int) -> Cluster:
+        """A seeded, audited, guarded cluster for this run."""
+        cluster = build_cluster(n_hosts, params=params, seed=self.seed,
+                                **dims)
+        cluster.sim.enable_tie_audit()
+        if self._max_events is not None or self._wall_timeout_s is not None:
+            cluster.sim.set_guards(max_events=self._max_events,
+                                   wall_timeout_s=self._wall_timeout_s)
+        self._sims.append(cluster.sim)
+        return cluster
+
+    def monitor(self, cluster: Cluster,
+                sample_interval_ns: int = 10_000_000) -> Monitor:
+        """Attach a fabric monitor whose series are rolled into the record.
+
+        Spawns the background fabric sampler — safe under
+        ``run_until_event``/bounded ``run(until=...)``, which is how all
+        fleet scenarios drive their simulations.
+        """
+        mon = Monitor(cluster.sim, cluster.stats,
+                      sample_interval_ns=sample_interval_ns)
+        mon.start_fabric_sampler()
+        self._monitors.append(mon)
+        return mon
+
+    # ------------------------------------------------------------ collection
+    def schedule_digest(self) -> str:
+        """The run's schedule digest (joined when multiple clusters)."""
+        digests = [sim.tie_audit.digest() for sim in self._sims
+                   if sim.tie_audit is not None]
+        if not digests:
+            return ""
+        if len(digests) == 1:
+            return digests[0]
+        return hashlib.sha256("\n".join(digests).encode()).hexdigest()
+
+    def events_fired(self) -> int:
+        return sum(sim._sequence for sim in self._sims)
+
+    def tie_anomalies(self) -> int:
+        return sum(sim.tie_audit.anomalies for sim in self._sims
+                   if sim.tie_audit is not None)
+
+    def monitor_rollup(self) -> Dict[str, Dict[str, float]]:
+        """Per-series rollup (sample count / last / peak), sim-time only."""
+        rollup: Dict[str, Dict[str, float]] = {}
+        for mon in self._monitors:
+            for name in sorted(mon.series):
+                values = mon.values(name)
+                if not values:
+                    continue
+                rollup[name] = {
+                    "samples": len(values),
+                    "last": values[-1],
+                    "peak": max(values),
+                }
+        return rollup
+
+
+# --------------------------------------------------------------- resolution
+def resolve_scenario(name: str) -> ScenarioFn:
+    """Look up a scenario by registry name or ``module:attr`` path.
+
+    Importing :mod:`repro.fleet.scenarios` / :mod:`repro.fleet.drills`
+    populates the registry, so workers (including spawn-context ones that
+    share no interpreter state) resolve purely from the task's string.
+    """
+    from repro.fleet import drills, scenarios   # noqa: F401  (registration)
+    fn = scenarios.SCENARIOS.get(name)
+    if fn is not None:
+        return fn
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        module = importlib.import_module(module_name)
+        fn = getattr(module, attr, None)
+        if callable(fn):
+            return fn
+    raise KeyError(
+        f"unknown scenario {name!r}; registered: "
+        f"{', '.join(sorted(scenarios.SCENARIOS))} (or use 'module:attr')")
+
+
+# ---------------------------------------------------------------- execution
+def execute_unit(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one task dict (see :meth:`RunUnit.as_task`) to a record dict.
+
+    Never raises for scenario-level failures — those become
+    ``status="failed"`` records; only defects in the fleet itself (or
+    process death, which the supervisor handles) escape.
+    """
+    timeout_s = task.get("timeout_s")
+    wall_guard = (None if timeout_s is None
+                  else max(0.1, float(timeout_s) * GUARD_HEADROOM))
+    ctx = RunContext(params=dict(task["params"]), seed=int(task["seed"]),
+                     attempt=int(task.get("attempt", 0)),
+                     max_events=task.get("max_events"),
+                     wall_timeout_s=wall_guard)
+    registry = invariants.current()
+    owns_registry = registry is None
+    if owns_registry:
+        registry = invariants.install(mode="count")
+    violations_before = registry.total
+    status, reason = "ok", ""
+    metrics: Dict[str, Any] = {}
+    t0 = _wall()
+    try:
+        metrics = resolve_scenario(task["scenario"])(ctx) or {}
+        # Non-serializable metrics are a scenario bug; record it as a
+        # failed run so the sweep (and the store) keep going.
+        json.dumps(metrics)
+    except (TypeError, ValueError) as exc:
+        status, reason = "failed", f"bad metrics: {exc}"
+        metrics = {}
+    except Exception as exc:  # xr-lint: disable=swallowed-error
+        # Fault-isolation boundary: *any* scenario failure — including
+        # SimulationError and InvariantError — must surface as a recorded
+        # failed run with its reason, never abort the sweep.
+        status = "failed"
+        tail = traceback.format_exc(limit=3).strip().splitlines()[-1]
+        reason = f"{type(exc).__name__}: {exc} [{tail}]"
+        metrics = {}
+    finally:
+        violations = registry.total - violations_before
+        if owns_registry:
+            invariants.uninstall()
+    return {
+        "run_id": task["run_id"],
+        "experiment": task["experiment"],
+        "scenario": task["scenario"],
+        "params": dict(task["params"]),
+        "seed": task["seed"],
+        "attempt": task.get("attempt", 0),
+        "status": status,
+        "reason": reason,
+        "metrics": metrics,
+        "digest": ctx.schedule_digest(),
+        "events": ctx.events_fired(),
+        "tie_anomalies": ctx.tie_anomalies(),
+        "invariant_violations": violations,
+        "monitor": ctx.monitor_rollup(),
+        "wall_s": round(_wall() - t0, 4),
+    }
+
+
+def run_scenario_inline(scenario: str, params: Dict[str, Any],
+                        seed: int = 0,
+                        max_events: Optional[int] = None) -> Dict[str, Any]:
+    """Execute a scenario in-process (benchmarks, debugging) and return
+    the full record; raises if the run failed rather than returning a
+    failure record — inline callers want the traceback."""
+    record = execute_unit({
+        "run_id": f"inline/{scenario}/s{seed}",
+        "experiment": "inline",
+        "scenario": scenario,
+        "params": params,
+        "seed": seed,
+        "attempt": 0,
+        "timeout_s": None,
+        "max_events": max_events,
+    })
+    if record["status"] != "ok":
+        raise RuntimeError(
+            f"inline scenario {scenario!r} failed: {record['reason']}")
+    return record

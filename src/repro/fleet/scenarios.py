@@ -1,0 +1,242 @@
+"""The fleet's scenario library: the paper sweeps as parameterized callables.
+
+Each scenario is a function ``(ctx: RunContext) -> dict`` taking its knobs
+from ``ctx.params`` and returning flat JSON-able metrics.  These are the
+*single* implementations of the ablation grids and the Fig. 10 incast —
+``benchmarks/test_ablations.py`` / ``test_fig10_flow_control.py`` call the
+same bodies inline (via :func:`repro.fleet.runner.run_scenario_inline`),
+and the fleet specs in :mod:`repro.fleet.experiments` sweep them across
+seeds and grid points in parallel.
+
+Registration is by name so worker processes resolve scenarios from the
+task string alone::
+
+    @scenario("fragment-incast")
+    def fragment_incast(ctx): ...
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fleet.runner import RunContext, ScenarioFn
+from repro.sim import MICROS, SECONDS
+from repro.sim.params import congested_params
+from repro.tools.xr_perf import XrPerf
+from repro.xrdma import XrdmaConfig
+from repro.xrdma.memcache import MemCache
+
+__all__ = ["SCENARIOS", "scenario", "fragment_incast", "rpc_latency",
+           "window_throughput", "mr_registration", "fig10_incast",
+           "smoke_incast"]
+
+SCENARIOS: Dict[str, ScenarioFn] = {}
+
+
+def scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Register a scenario under ``name`` (what specs/tasks reference)."""
+    def register(fn: ScenarioFn) -> ScenarioFn:
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate scenario name {name!r}")
+        SCENARIOS[name] = fn
+        return fn
+    return register
+
+
+# ------------------------------------------------------------- ablations
+@scenario("fragment-incast")
+def fragment_incast(ctx: RunContext) -> Dict[str, Any]:
+    """Incast goodput at one fragment size (ablation, Sec. V-C).
+
+    params: fragment_bytes; optional n_sources, streams_per_source,
+    size, messages.
+    """
+    params = ctx.params
+    n_sources = int(params.get("n_sources", 4))
+    streams = int(params.get("streams_per_source", 4))
+    sources = [src for src in range(n_sources) for _ in range(streams)]
+    cluster = ctx.build_cluster(n_sources + 1, params=congested_params())
+    ctx.monitor(cluster)
+    perf = XrPerf(cluster)
+    config = XrdmaConfig(fragment_bytes=int(params["fragment_bytes"]))
+    result = perf.run_incast(sources, n_sources,
+                             size=int(params.get("size", 256 * 1024)),
+                             messages_per_source=int(
+                                 params.get("messages", 8)),
+                             config=config)
+    return {
+        "goodput_gbps": result.goodput_gbps,
+        "messages": result.messages,
+        "cnps_sent": result.crucial.get("cnps_sent", 0),
+        "retransmissions": result.crucial.get("retransmissions", 0),
+    }
+
+
+@scenario("rpc-latency")
+def rpc_latency(ctx: RunContext) -> Dict[str, Any]:
+    """Closed-loop RPC latency at one small-message threshold
+    (ablation, Sec. IV-C).  params: small_msg_size; optional size,
+    iterations."""
+    params = ctx.params
+    size = int(params.get("size", 2048))
+    iterations = int(params.get("iterations", 16))
+    config = XrdmaConfig(small_msg_size=int(params["small_msg_size"]))
+    cluster = ctx.build_cluster(2)
+    client = cluster.xrdma_context(0, config=config)
+    server = cluster.xrdma_context(1, config=config)
+    accepted = server.listen(8650)
+    latencies: List[int] = []
+
+    def run():
+        channel = yield from client.connect(1, 8650)
+        server_channel = yield accepted.get()
+        server_channel.on_request = \
+            lambda msg: server.send_response(msg, 64)
+        for index in range(iterations):
+            t0 = cluster.sim.now
+            request = client.send_request(channel, size)
+            yield request.response
+            if index >= 3:                      # drop warmup iterations
+                latencies.append(cluster.sim.now - t0)
+
+    proc = cluster.sim.spawn(run())
+    cluster.sim.run_until_event(proc, limit=60 * SECONDS)
+    threshold = int(params["small_msg_size"])
+    return {
+        "rtt_us": mean(latencies) / 1000,
+        "recv_ring_bytes_per_channel": (threshold + 64) * 36,
+        "eager": size <= threshold,
+    }
+
+
+@scenario("window-throughput")
+def window_throughput(ctx: RunContext) -> Dict[str, Any]:
+    """One-way throughput at one seq-ack window depth (ablation,
+    Sec. V-B).  params: inflight_depth; optional messages, size."""
+    params = ctx.params
+    n_messages = int(params.get("messages", 400))
+    size = int(params.get("size", 2048))
+    cluster = ctx.build_cluster(2)
+    config = XrdmaConfig(inflight_depth=int(params["inflight_depth"]))
+    client = cluster.xrdma_context(0, config=config)
+    server = cluster.xrdma_context(1, config=config)
+    server.listen(8660)
+    sim = cluster.sim
+    received: List[int] = []
+
+    def sink():
+        while True:
+            yield server.incoming.get()
+            received.append(sim.now)
+
+    sim.spawn(sink())
+
+    def producer():
+        channel = yield from client.connect(1, 8660)
+        for _ in range(n_messages):
+            client.send_msg(channel, size)
+        while len(received) < n_messages:
+            yield sim.timeout(50 * MICROS)
+
+    proc = sim.spawn(producer())
+    t0 = sim.now
+    sim.run_until_event(proc, limit=60 * SECONDS)
+    return {
+        "throughput_gbps": n_messages * size * 8 / (sim.now - t0),
+        "messages": n_messages,
+    }
+
+
+@scenario("mr-registration")
+def mr_registration(ctx: RunContext) -> Dict[str, Any]:
+    """MR count and alloc latency at one arena size (ablation,
+    Sec. IV-E).  params: mr_bytes; optional allocs, alloc_bytes."""
+    params = ctx.params
+    n_allocs = int(params.get("allocs", 256))
+    alloc_bytes = int(params.get("alloc_bytes", 4096))
+    cluster = ctx.build_cluster(1)
+    host = cluster.host(0)
+    pd = host.verbs.alloc_pd()
+    cache = MemCache(host.verbs, pd, mr_bytes=int(params["mr_bytes"]))
+
+    def run():
+        buffers = []
+        for _ in range(n_allocs):
+            buffer = yield from cache.alloc(alloc_bytes)
+            buffers.append(buffer)
+        return buffers
+
+    t0 = cluster.sim.now
+    proc = cluster.sim.spawn(run())
+    buffers = cluster.sim.run_until_event(proc, limit=60 * SECONDS)
+    alloc_us = (cluster.sim.now - t0) / 1000
+    for buffer in buffers:
+        cache.free(buffer)
+    return {"mr_count": cache.mr_count, "alloc_us": alloc_us}
+
+
+# ---------------------------------------------------------------- figures
+#: Fig. 10 workload presets: label -> (flow_control, size, messages)
+FIG10_WORKLOADS: Dict[str, Any] = {
+    "128KB": (False, 128 * 1024, 15),
+    "128KB-fc": (True, 128 * 1024, 15),
+    "64KB": (False, 64 * 1024, 30),
+}
+
+
+@scenario("fig10-incast")
+def fig10_incast(ctx: RunContext) -> Dict[str, Any]:
+    """Fig. 10: incast with/without X-RDMA flow control.
+
+    params: workload (one of FIG10_WORKLOADS); optional n_sources,
+    streams_per_source.
+    """
+    params = ctx.params
+    label = str(params["workload"])
+    if label not in FIG10_WORKLOADS:
+        raise ValueError(f"unknown fig10 workload {label!r}; "
+                         f"choose from {', '.join(FIG10_WORKLOADS)}")
+    flow_control, size, messages = FIG10_WORKLOADS[label]
+    n_sources = int(params.get("n_sources", 8))
+    streams = int(params.get("streams_per_source", 4))
+    sources = [src for src in range(n_sources) for _ in range(streams)]
+    cluster = ctx.build_cluster(n_sources + 1, params=congested_params())
+    ctx.monitor(cluster)
+    perf = XrPerf(cluster)
+    config = XrdmaConfig(flow_control=flow_control)
+    result = perf.run_incast(sources, n_sources, size=size,
+                             messages_per_source=messages, config=config)
+    return {
+        "goodput_gbps": result.goodput_gbps,
+        "messages": result.messages,
+        "cnps_sent": result.crucial.get("cnps_sent", 0),
+        "pause_frames": result.crucial.get("pause_frames", 0),
+        "retransmissions": result.crucial.get("retransmissions", 0),
+    }
+
+
+# ------------------------------------------------------------------ smoke
+@scenario("smoke-incast")
+def smoke_incast(ctx: RunContext) -> Dict[str, Any]:
+    """A deliberately tiny incast for pool/CLI tests and ``--quick``
+    invariance checks: seconds of wall time, not minutes.
+    params: optional fragment_bytes, n_sources, size, messages."""
+    params = ctx.params
+    n_sources = int(params.get("n_sources", 3))
+    sources = list(range(n_sources))
+    cluster = ctx.build_cluster(n_sources + 1)
+    perf = XrPerf(cluster)
+    config: Optional[XrdmaConfig] = None
+    if "fragment_bytes" in params:
+        config = XrdmaConfig(fragment_bytes=int(params["fragment_bytes"]))
+    result = perf.run_incast(sources, n_sources,
+                             size=int(params.get("size", 16 * 1024)),
+                             messages_per_source=int(
+                                 params.get("messages", 6)),
+                             mean_gap_ns=40_000, config=config)
+    return {
+        "goodput_gbps": result.goodput_gbps,
+        "messages": result.messages,
+        "bytes_moved": result.bytes_moved,
+    }

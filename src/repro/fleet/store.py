@@ -1,0 +1,142 @@
+"""The sweep's on-disk artifact: JSONL run records + canonical JSON files.
+
+Layout of a sweep directory::
+
+    <out>/
+      plan.json        expanded specs + run units (pure function of specs)
+      runs.jsonl       one record per *attempt*, appended as they finish
+      aggregate.json   deterministic rollup — byte-identical for any --jobs
+      manifest.json    environment: jobs, wall seconds, failure summary
+
+``runs.jsonl`` is append-only and flushed per record so a killed sweep
+leaves a readable prefix; re-running ``aggregate`` over a partial store
+works (missing runs are reported as such).  Attempt records carry
+``final: false`` when the supervisor re-queued the run; exactly one
+record per run_id has ``final: true`` in a completed sweep — that is the
+retry-accounting contract the failure drills assert.
+
+``aggregate.json`` is written via :func:`canonical_json` (sorted keys,
+fixed separators, trailing newline) — byte identity across ``--jobs``
+counts is asserted by tests and CI, not just promised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Sequence
+
+from repro.fleet.spec import ExperimentSpec, RunUnit
+
+__all__ = ["ResultStore", "canonical_json"]
+
+PLAN_NAME = "plan.json"
+RUNS_NAME = "runs.jsonl"
+AGGREGATE_NAME = "aggregate.json"
+MANIFEST_NAME = "manifest.json"
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical bytes for jobs-invariant artifacts."""
+    return json.dumps(payload, sort_keys=True, indent=2,
+                      separators=(",", ": "), ensure_ascii=False) + "\n"
+
+
+class ResultStore:
+    """Owns one sweep directory; all reads/writes go through here."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._runs_handle: Optional[IO[str]] = None
+
+    # ---------------------------------------------------------------- paths
+    @property
+    def plan_path(self) -> Path:
+        return self.root / PLAN_NAME
+
+    @property
+    def runs_path(self) -> Path:
+        return self.root / RUNS_NAME
+
+    @property
+    def aggregate_path(self) -> Path:
+        return self.root / AGGREGATE_NAME
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    # -------------------------------------------------------------- writing
+    def begin(self, specs: Sequence[ExperimentSpec],
+              units: Sequence[RunUnit]) -> None:
+        """Create the directory, persist the plan, truncate the record log."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        plan = {
+            "specs": [spec.as_dict() for spec in specs],
+            "units": [unit.run_id for unit in units],
+        }
+        self.plan_path.write_text(canonical_json(plan), encoding="utf-8")
+        self._runs_handle = open(self.runs_path, "w", encoding="utf-8")
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one attempt record, durably (flush + fsync)."""
+        if self._runs_handle is None:
+            self._runs_handle = open(self.runs_path, "a", encoding="utf-8")
+        line = json.dumps(record, sort_keys=True, ensure_ascii=False)
+        self._runs_handle.write(line + "\n")
+        self._runs_handle.flush()
+        os.fsync(self._runs_handle.fileno())
+
+    def close(self) -> None:
+        if self._runs_handle is not None:
+            self._runs_handle.close()
+            self._runs_handle = None
+
+    def write_aggregate(self, aggregate: Dict[str, Any]) -> None:
+        self.aggregate_path.write_text(canonical_json(aggregate),
+                                       encoding="utf-8")
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        self.manifest_path.write_text(canonical_json(manifest),
+                                      encoding="utf-8")
+
+    # -------------------------------------------------------------- reading
+    def load_plan(self) -> Dict[str, Any]:
+        with open(self.plan_path, encoding="utf-8") as handle:
+            plan = json.load(handle)
+        if not isinstance(plan, dict) or "units" not in plan:
+            raise ValueError(f"{self.plan_path}: not a sweep plan")
+        return plan
+
+    def load_records(self) -> List[Dict[str, Any]]:
+        """Every attempt record, in append order; tolerates a torn tail
+        line (a killed sweep's last partial write)."""
+        if not self.runs_path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.runs_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break       # torn tail — everything before it is good
+        return records
+
+    def terminal_records(self) -> Dict[str, Dict[str, Any]]:
+        """run_id -> its final record (the one with ``final: true``)."""
+        final: Dict[str, Dict[str, Any]] = {}
+        for record in self.load_records():
+            if record.get("final"):
+                final[record["run_id"]] = record
+        return final
+
+    def load_aggregate(self) -> Dict[str, Any]:
+        with open(self.aggregate_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{self.aggregate_path}: not an aggregate")
+        return payload

@@ -19,7 +19,8 @@ Public surface:
   constants shared by the whole substrate.
 """
 
-from repro.sim.engine import Simulator, SimulationError, TieAudit
+from repro.sim.engine import (GuardExceeded, Simulator, SimulationError,
+                              TieAudit)
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.params import SimParams
 from repro.sim.process import Process
@@ -31,6 +32,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "GuardExceeded",
     "Interrupt",
     "MICROS",
     "MILLIS",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import time
 from collections import deque
 from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
@@ -28,10 +29,64 @@ from repro.sim.events import (AllOf, AnyOf, Event, SimulationError, Timeout,
                               _NORMAL, _URGENT)
 from repro.sim.process import Process, ProcessGenerator
 
-__all__ = ["SimulationError", "Simulator", "TieAudit"]
+__all__ = ["GuardExceeded", "SimulationError", "Simulator", "TieAudit"]
 
 # Heap priorities (re-exported from events, where the inlined trigger
 # paths live): interrupts preempt normal events at the same instant.
+
+
+class GuardExceeded(SimulationError):
+    """A runaway-run guard tripped (event budget or wall-clock deadline).
+
+    Raised *between* events — the heap and the now-queue are left intact,
+    so a supervisor can inspect or even resume the simulation.  Fleet
+    workers (``repro.fleet``) rely on this to turn a pathological
+    scenario into a recorded failure instead of a hung worker process.
+    """
+
+
+def _host_clock() -> float:
+    """Monotonic host seconds, used only by the runaway-run guards.
+
+    Nothing simulated ever observes this value: a tripped deadline aborts
+    the run with :class:`GuardExceeded`, it never steers behaviour.
+    """
+    return time.monotonic()  # xr-lint: disable=wall-clock
+
+
+class _GuardState:
+    """Budget shared by guarded fire loops (see :meth:`Simulator.set_guards`).
+
+    ``charge()`` is called once per loop iteration *before* the next event
+    is popped, so a raise leaves every pending event in place.  The wall
+    clock is only sampled every 256 events — a guarded run pays one integer
+    test per event and a clock read per quarter-kilobatch.
+    """
+
+    __slots__ = ("remaining", "deadline", "_tick")
+
+    def __init__(self, max_events: Optional[int],
+                 wall_timeout_s: Optional[float]) -> None:
+        self.remaining: Optional[int] = max_events
+        self.deadline: Optional[float] = (
+            None if wall_timeout_s is None
+            else _host_clock() + wall_timeout_s)
+        self._tick = 0
+
+    def charge(self) -> None:
+        remaining = self.remaining
+        if remaining is not None:
+            if remaining <= 0:
+                raise GuardExceeded(
+                    "guard: max_events budget exhausted "
+                    "(runaway simulation?)")
+            self.remaining = remaining - 1
+        if self.deadline is not None:
+            self._tick += 1
+            if (self._tick & 255) == 0 and _host_clock() > self.deadline:
+                raise GuardExceeded(
+                    "guard: wall-clock deadline exceeded "
+                    "(runaway simulation?)")
 
 
 class TieAudit:
@@ -116,7 +171,7 @@ class Simulator:
     # attributes in the program (every schedule and every fire touches
     # them); slots keep them out of a dict lookup.
     __slots__ = ("_now", "_heap", "_nowq", "_sequence", "_active_process",
-                 "tie_audit")
+                 "tie_audit", "_guards")
 
     def __init__(self, debug_ties: bool = False) -> None:
         self._now: int = 0
@@ -128,6 +183,24 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self.tie_audit: Optional[TieAudit] = TieAudit() if debug_ties \
             else None
+        self._guards: Optional[_GuardState] = None
+
+    def set_guards(self, max_events: Optional[int] = None,
+                   wall_timeout_s: Optional[float] = None) -> None:
+        """Arm persistent runaway-run guards; ``set_guards()`` disarms.
+
+        The budgets span *all* subsequent :meth:`run` /
+        :meth:`run_until_event` calls on this simulator: ``max_events``
+        bounds the total number of events fired, ``wall_timeout_s``
+        starts a host wall-clock countdown now.  Exceeding either raises
+        :class:`GuardExceeded` with every pending event still queued.
+        Unguarded simulators pay nothing — the fire loops pick the
+        guard-free fast path once per call.
+        """
+        if max_events is None and wall_timeout_s is None:
+            self._guards = None
+        else:
+            self._guards = _GuardState(max_events, wall_timeout_s)
 
     def enable_tie_audit(self) -> TieAudit:
         """Turn the tie-break auditor on (idempotent); returns it.
@@ -224,19 +297,31 @@ class Simulator:
                 f"unhandled failure in {event.name!r}: {event.value!r}"
             ) from event.value
 
-    def run(self, until: Optional[int] = None) -> int:
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None,
+            wall_timeout_s: Optional[float] = None) -> int:
         """Run until the heap drains or simulated time reaches ``until``.
 
         Returns the simulated time at which the run stopped.
+
+        ``max_events`` / ``wall_timeout_s`` arm one-shot runaway guards
+        for this call only (see :meth:`set_guards` for persistent ones);
+        tripping either raises :class:`GuardExceeded` with all pending
+        events intact.
 
         The loop body is :meth:`step` inlined by hand: this is the hottest
         loop in the project and the method call, the re-checked empty-heap
         guard, and the repeated attribute loads are measurable.  Any change
         here must be mirrored in :meth:`step`/:meth:`run_until_event` and
-        keep TieAudit digests byte-identical.
+        the ``_guarded`` variants, and keep TieAudit digests byte-identical.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        guards = self._guards
+        if max_events is not None or wall_timeout_s is not None:
+            guards = _GuardState(max_events, wall_timeout_s)
+        if guards is not None:
+            return self._run_guarded(until, guards)
         heap = self._heap
         nowq = self._nowq
         heappop = heapq.heappop
@@ -283,13 +368,66 @@ class Simulator:
             self._now = until
         return self._now
 
-    def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
+    def _run_guarded(self, until: Optional[int],
+                     guards: _GuardState) -> int:
+        """:meth:`run` with a per-iteration guard charge.
+
+        A separate loop (rather than a branch in :meth:`run`) so the
+        unguarded hot path stays byte-for-byte what PR 3 benchmarked.
+        ``guards.charge()`` runs *before* the pop: a raise loses nothing.
+        """
+        heap = self._heap
+        nowq = self._nowq
+        heappop = heapq.heappop
+        audit = self.tie_audit
+        heappush = heapq.heappush
+        bound = float("inf") if until is None else until
+        while heap or nowq:
+            guards.charge()
+            if nowq and (not heap or nowq[0] < heap[0]):
+                when, priority, seq, event = nowq.popleft()
+            else:
+                when, priority, seq, event = heappop(heap)
+                if when > bound:
+                    heappush(heap, (when, priority, seq, event))
+                    assert until is not None
+                    self._now = until
+                    return self._now
+            if audit is not None:
+                audit.observe(when, priority, seq, event)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+            elif not event._ok and not event.defused:
+                raise SimulationError(
+                    f"unhandled failure in {event.name!r}: {event.value!r}"
+                ) from event.value
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event, limit: Optional[int] = None,
+                        max_events: Optional[int] = None,
+                        wall_timeout_s: Optional[float] = None) -> Any:
         """Run until ``event`` fires; returns its value or raises its error.
 
         ``limit`` bounds simulated time; exceeding it raises
-        :class:`SimulationError`.  (Same hand-inlined fire loop as
-        :meth:`run` — see the note there.)
+        :class:`SimulationError`.  ``max_events`` / ``wall_timeout_s``
+        arm one-shot runaway guards (:class:`GuardExceeded`), merging
+        with any persistent :meth:`set_guards` budget.  (Same
+        hand-inlined fire loop as :meth:`run` — see the note there.)
         """
+        guards = self._guards
+        if max_events is not None or wall_timeout_s is not None:
+            guards = _GuardState(max_events, wall_timeout_s)
+        if guards is not None:
+            return self._run_until_event_guarded(event, limit, guards)
         if event.callbacks is not None:
             # Mark the event observed so a failure is delivered here rather
             # than raised as an unhandled error inside step().
@@ -322,6 +460,51 @@ class Simulator:
             fired.callbacks = None
             if callbacks:
                 # Single-waiter fast path — see run().
+                if len(callbacks) == 1:
+                    callbacks[0](fired)
+                else:
+                    for callback in callbacks:
+                        callback(fired)
+            elif not fired._ok and not fired.defused:
+                raise SimulationError(
+                    f"unhandled failure in {fired.name!r}: {fired.value!r}"
+                ) from fired.value
+        if not event._ok:
+            raise event._value
+        return event._value
+
+    def _run_until_event_guarded(self, event: Event, limit: Optional[int],
+                                 guards: _GuardState) -> Any:
+        """:meth:`run_until_event` with a per-iteration guard charge
+        (mirror of :meth:`_run_guarded` — keep the loops in lockstep)."""
+        if event.callbacks is not None:
+            event.callbacks.append(lambda _ev: None)
+        heap = self._heap
+        nowq = self._nowq
+        heappop = heapq.heappop
+        audit = self.tie_audit
+        bound = float("inf") if limit is None else limit
+        while event.callbacks is not None:      # i.e. not yet processed
+            guards.charge()
+            if nowq and (not heap or nowq[0] < heap[0]):
+                when, priority, seq, fired = nowq.popleft()
+            elif heap:
+                when, priority, seq, fired = heappop(heap)
+                if when > bound:
+                    heapq.heappush(heap, (when, priority, seq, fired))
+                    raise SimulationError(
+                        f"time limit {limit} exceeded waiting for "
+                        f"{event.name!r}")
+            else:
+                raise SimulationError(
+                    f"deadlock: no pending events but {event.name!r} "
+                    f"never fired")
+            if audit is not None:
+                audit.observe(when, priority, seq, fired)
+            self._now = when
+            callbacks = fired.callbacks
+            fired.callbacks = None
+            if callbacks:
                 if len(callbacks) == 1:
                     callbacks[0](fired)
                 else:

@@ -243,6 +243,16 @@ def run_suite(quick: bool = False,
     return results
 
 
+class BaselineError(Exception):
+    """A ``--baseline`` file that cannot be compared against.
+
+    Raised *before* the suite runs: a CI job pointing at a renamed
+    trajectory file or the wrong mode should fail in milliseconds with a
+    usage error (exit 2), not burn minutes benchmarking and then silently
+    skip the one check it existed for.
+    """
+
+
 def _baseline_section(payload: Dict[str, Any],
                       mode: str) -> Optional[Dict[str, Any]]:
     """Find comparable numbers in a results or trajectory file."""
@@ -256,8 +266,38 @@ def _baseline_section(payload: Dict[str, Any],
     return None
 
 
+def load_baseline(baseline_path: str,
+                  mode: str) -> Dict[str, Any]:
+    """Read and validate a baseline file for ``mode``.
+
+    Returns the full payload (the comparison re-derives the section);
+    raises :class:`BaselineError` with a one-line reason if the file is
+    missing, unparsable, or has no section for this mode.
+    """
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(
+            f"cannot read baseline {baseline_path}: "
+            f"{exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"baseline {baseline_path} is not valid JSON "
+            f"(line {exc.lineno}: {exc.msg})") from exc
+    if not isinstance(payload, dict) \
+            or _baseline_section(payload, mode) is None:
+        have = sorted(payload) if isinstance(payload, dict) else type(
+            payload).__name__
+        raise BaselineError(
+            f"baseline {baseline_path} has no {mode!r} section "
+            f"(top-level keys: {have}); run the matching mode or point "
+            f"--baseline at a file written by --json")
+    return payload
+
+
 def compare_to_baseline(results: Dict[str, BenchResult],
-                        baseline_path: str, mode: str,
+                        payload: Dict[str, Any], mode: str,
                         max_regression: float) -> int:
     """Return the number of benches regressing more than the budget.
 
@@ -265,13 +305,8 @@ def compare_to_baseline(results: Dict[str, BenchResult],
     numbers are rescaled by this machine's score first — otherwise a
     faster or slower runner would fail (or mask) every comparison.
     """
-    with open(baseline_path, encoding="utf-8") as handle:
-        payload = json.load(handle)
     baseline = _baseline_section(payload, mode)
-    if baseline is None:
-        print(f"xr-bench: no {mode!r} baseline section in {baseline_path}; "
-              "skipping comparison")
-        return 0
+    assert baseline is not None     # load_baseline validated this
     scale = 1.0
     cal_base = payload.get("calibration")
     if cal_base:
@@ -314,6 +349,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
+    baseline_payload: Optional[Dict[str, Any]] = None
+    if args.baseline:
+        # Validate up front: a bad baseline is a usage error, not a
+        # post-suite surprise.
+        try:
+            baseline_payload = load_baseline(args.baseline, mode)
+        except BaselineError as exc:
+            print(f"xr-bench: {exc}", file=sys.stderr)
+            return 2
+
     print(f"xr-bench [{mode}]")
     results = run_suite(quick=args.quick, only=args.only,
                         repeats=args.repeats)
@@ -330,8 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write("\n")
         print(f"xr-bench: wrote {args.json}")
 
-    if args.baseline:
-        failures = compare_to_baseline(results, args.baseline, mode,
+    if baseline_payload is not None:
+        failures = compare_to_baseline(results, baseline_payload, mode,
                                        args.max_regression)
         if failures:
             print(f"xr-bench: {failures} bench(es) regressed more than "

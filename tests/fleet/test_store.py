@@ -1,0 +1,80 @@
+"""Result store: JSONL durability, terminal selection, canonical bytes."""
+
+import json
+
+from repro.fleet.spec import ExperimentSpec
+from repro.fleet.store import ResultStore, canonical_json
+
+
+def spec():
+    return ExperimentSpec(name="exp", scenario="drill-healthy",
+                          grid={"x": [1, 2]}, seeds=[0])
+
+
+def record(run_id, attempt=0, status="ok", final=True):
+    return {"run_id": run_id, "attempt": attempt, "status": status,
+            "final": final}
+
+
+class TestStore:
+    def test_begin_persists_plan(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep")
+        units = spec().expand()
+        store.begin([spec()], units)
+        store.close()
+        plan = store.load_plan()
+        assert plan["units"] == [u.run_id for u in units]
+        assert plan["specs"][0]["name"] == "exp"
+
+    def test_append_then_reload_in_order(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep")
+        store.begin([spec()], spec().expand())
+        store.append(record("exp/x=1/s0"))
+        store.append(record("exp/x=2/s0", status="failed"))
+        store.close()
+        statuses = [r["status"] for r in store.load_records()]
+        assert statuses == ["ok", "failed"]
+
+    def test_terminal_picks_only_final_records(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep")
+        store.begin([spec()], spec().expand())
+        store.append(record("exp/x=1/s0", attempt=0, status="failed",
+                            final=False))
+        store.append(record("exp/x=1/s0", attempt=1, status="ok"))
+        store.close()
+        terminal = store.terminal_records()
+        assert list(terminal) == ["exp/x=1/s0"]
+        assert terminal["exp/x=1/s0"]["attempt"] == 1
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep")
+        store.begin([spec()], spec().expand())
+        store.append(record("exp/x=1/s0"))
+        store.close()
+        with open(store.runs_path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "exp/x=2/s0", "status": "ok"')
+        assert len(store.load_records()) == 1
+
+    def test_append_reopens_after_close(self, tmp_path):
+        # An `aggregate` verb run after an interrupted sweep must be able
+        # to keep appending without clobbering the log.
+        store = ResultStore(tmp_path / "sweep")
+        store.begin([spec()], spec().expand())
+        store.append(record("exp/x=1/s0"))
+        store.close()
+        store.append(record("exp/x=2/s0"))
+        store.close()
+        assert len(store.load_records()) == 2
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_trailing_newline(self):
+        text = canonical_json({"b": 1, "a": {"z": 2, "y": 3}})
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"b": 1, "a": {"z": 2, "y": 3}}
+
+    def test_identical_payloads_identical_bytes(self):
+        one = canonical_json({"k": [1, 2], "j": "v"})
+        two = canonical_json({"j": "v", "k": [1, 2]})
+        assert one == two

@@ -1,0 +1,95 @@
+"""Runaway-run guards: event budgets and wall-clock deadlines.
+
+Fleet workers arm these before handing a simulator to an arbitrary
+scenario; a pathological run must become a :class:`GuardExceeded` with
+the pending-event state intact, never a hung worker or pytest session.
+"""
+
+import pytest
+
+from repro.sim import GuardExceeded, SimulationError, Simulator
+
+
+def spinner(sim):
+    """An infinite event churner: never drains, never advances far."""
+    while True:
+        yield sim.timeout(1)
+
+
+def test_max_events_guard_trips():
+    sim = Simulator()
+    sim.spawn(spinner(sim))
+    with pytest.raises(GuardExceeded, match="max_events"):
+        sim.run(max_events=1_000)
+
+
+def test_guard_exceeded_is_a_simulation_error():
+    assert issubclass(GuardExceeded, SimulationError)
+
+
+def test_guard_leaves_pending_events_intact():
+    sim = Simulator()
+    sim.spawn(spinner(sim))
+    with pytest.raises(GuardExceeded):
+        sim.run(max_events=100)
+    # The budget was one-shot; the simulation is resumable afterwards.
+    before = sim.now
+    sim.run(until=before + 50)
+    assert sim.now == before + 50
+
+
+def test_persistent_guard_spans_calls():
+    sim = Simulator()
+    sim.spawn(spinner(sim))
+    sim.set_guards(max_events=100)
+    with pytest.raises(GuardExceeded):
+        while True:
+            sim.run(until=sim.now + 10)
+    sim.set_guards()                      # disarm
+    sim.run(until=sim.now + 10)           # runs freely again
+
+
+def test_guard_budget_allows_completion():
+    sim = Simulator()
+
+    def finite():
+        for _ in range(5):
+            yield sim.timeout(3)
+        return "done"
+
+    proc = sim.spawn(finite())
+    assert sim.run_until_event(proc, max_events=1_000) == "done"
+
+
+def test_run_until_event_guard_trips():
+    sim = Simulator()
+    sim.spawn(spinner(sim))
+    never = sim.event("never")
+    with pytest.raises(GuardExceeded):
+        sim.run_until_event(never, max_events=500)
+
+
+def test_wall_deadline_guard_trips():
+    sim = Simulator()
+    sim.spawn(spinner(sim))
+    # A deadline already in the past trips on the first wall-clock sample.
+    with pytest.raises(GuardExceeded, match="deadline"):
+        sim.run(wall_timeout_s=0.0)
+
+
+def test_guarded_run_matches_unguarded_schedule():
+    """A generous guard must not perturb the schedule digest."""
+
+    def workload(sim):
+        for index in range(50):
+            yield sim.timeout(index % 7 + 1)
+
+    def run(**guard_kwargs):
+        sim = Simulator(debug_ties=True)
+        for _ in range(4):
+            sim.spawn(workload(sim))
+        sim.run(**guard_kwargs)
+        assert sim.tie_audit is not None
+        return sim.tie_audit.digest()
+
+    assert run() == run(max_events=10_000)
