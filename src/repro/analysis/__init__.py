@@ -24,9 +24,9 @@ from repro.analysis.mock import Mock
 from repro.analysis.monitor import Monitor
 from repro.analysis.report import series_panel, sparkline, table
 from repro.analysis.stats import LatencyHistogram
-from repro.analysis.tracing import TraceRecord, Tracer
+from repro.analysis.tracing import TraceContext, TraceRecord, Tracer
 
 __all__ = ["ClockSync", "FaultRule", "Filter", "HostClock",
            "InvariantError", "InvariantRegistry", "LatencyHistogram",
-           "Mock", "Monitor", "TraceRecord", "Tracer", "series_panel",
-           "sparkline", "table", "verify_context"]
+           "Mock", "Monitor", "TraceContext", "TraceRecord", "Tracer",
+           "series_panel", "sparkline", "table", "verify_context"]

@@ -1,8 +1,37 @@
-"""Req-rsp tracing (Sec. VI-A).
+"""XR-Trace: span-decomposed req-rsp tracing (Sec. VI-A).
 
-In req-rsp mode each message's header carries a trace id and the sender's
-local timestamp.  The tracer then supports the paper's three case-by-case
-long-latency methods:
+In req-rsp mode each message's header carries a trace id, the sender's
+local timestamp and — for sampled messages — a :class:`TraceContext` that
+rides the header through every layer of the stack.  Each layer closes one
+named span by calling :meth:`TraceContext.mark`; a completed trace
+decomposes the message's whole life into contiguous segments:
+
+========================  ====================================================
+stage (span it closes)    closed by
+========================  ====================================================
+``window_wait``           channel pump: a seq-ack window slot was claimed
+``src_alloc``             large only: source buffer registered for the read
+``flowctl_queue``         flow controller issued the WR (queue + budget wait)
+``post_send``             WQE entered the send queue (verbs posting overhead)
+``nic_tx``                NIC engine emitted the first fragment
+``wire_hop<N>``           switch N forwarded the first fragment
+``rx_nic``                receiver NIC finished reassembling the message
+``rx_poll``               receiver context picked the CQE up (poll pickup)
+``rendezvous_read``       large only: the receiver's RDMA Read completed
+``window_ready``          receiver window advanced rta past the message
+``rx_deliver``            message handed to the receiving application
+``ack_return``            sender saw the app-level cumulative ack
+========================  ====================================================
+
+Marks record timestamps only — they never create, drop or reorder
+simulation events, so tracing is schedule-neutral by construction (the
+digest-equivalence tests enforce it).  Spans are consecutive differences
+between marks, so for a complete chain they sum *exactly* to the
+end-to-end total; any residual means an instrumentation defect and trips
+the ``tracing.span_residual`` invariant.
+
+The tracer also keeps the paper's three case-by-case long-latency
+methods:
 
 I.   **Network decomposition** — with clock-synced hosts, the real request
      time is ``T2 - T1 - Toff``.
@@ -15,32 +44,137 @@ III. **Slow-segment log** — instrumented code segments exceeding
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, List, Optional,
+                    Tuple)
 
+from repro.analysis import invariants
 from repro.analysis.clocksync import ClockSync
+from repro.analysis.invariants import check as _invariant
 from repro.analysis.stats import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.xrdma.channel import XrdmaChannel
     from repro.xrdma.context import XrdmaContext
-    from repro.xrdma.message import XrdmaMessage
+    from repro.xrdma.message import XrdmaHeader, XrdmaMessage
+
+#: Stages every completed trace must contain (``wire_hop<N>`` marks are
+#: topology-dependent — loopback has none — and the ``src_alloc`` /
+#: ``rendezvous_read`` stages exist only on the large-message path).
+REQUIRED_STAGES = frozenset((
+    "window_wait", "flowctl_queue", "post_send", "nic_tx",
+    "rx_nic", "rx_poll", "window_ready", "rx_deliver", "ack_return",
+))
+
+#: Extra stages required when the message went through rendezvous.
+LARGE_STAGES = frozenset(("src_alloc", "rendezvous_read"))
+
+
+class TraceContext:
+    """Per-sampled-message span accumulator, propagated inside the header.
+
+    The context carries its own simulator reference so clock-less layers
+    (the seq-ack window, the QP) can close spans without plumbing time
+    through their APIs.  ``mark`` is idempotent per stage — middleware
+    retransmits, duplicate deliveries and go-back-N replays re-enter the
+    instrumented paths, and only the *first* traversal may close a span —
+    and refuses non-monotonic timestamps outright.
+    """
+
+    __slots__ = ("trace_id", "sim", "marks", "_seen", "suppressed_marks",
+                 "sender_record", "delivery_record")
+
+    def __init__(self, trace_id: int, sim: "Simulator",
+                 start_ns: int) -> None:
+        self.trace_id = trace_id
+        self.sim = sim
+        #: (stage, timestamp); marks[0] anchors the chain at app enqueue
+        self.marks: List[Tuple[str, int]] = [("app_enqueue", start_ns)]
+        self._seen = {"app_enqueue"}
+        #: re-traversals that tried to close an already-closed span
+        self.suppressed_marks = 0
+        self.sender_record: Optional["TraceRecord"] = None
+        self.delivery_record: Optional["TraceRecord"] = None
+
+    def mark(self, stage: str) -> None:
+        """Close the span ending at this stage (first traversal only)."""
+        if stage in self._seen:
+            self.suppressed_marks += 1
+            return
+        now = self.sim.now
+        if not _invariant(now >= self.marks[-1][1],
+                          "tracing.nonmonotonic_mark",
+                          lambda: f"trace {self.trace_id}: {stage} at {now} "
+                                  f"after {self.marks[-1]}"):
+            self.suppressed_marks += 1
+            return
+        self._seen.add(stage)
+        self.marks.append((stage, now))
+
+    @property
+    def start_ns(self) -> int:
+        return self.marks[0][1]
+
+    @property
+    def last_ns(self) -> int:
+        return self.marks[-1][1]
+
+    def stages(self) -> List[str]:
+        return [stage for stage, _ in self.marks]
+
+    def spans(self) -> List[Tuple[str, int]]:
+        """(stage, duration) pairs; each span is named by the mark that
+        closed it, so the list sums to ``last_ns - start_ns`` exactly."""
+        return [(stage, t1 - t0)
+                for (_, t0), (stage, t1) in zip(self.marks, self.marks[1:])]
 
 
 @dataclass
 class TraceRecord:
-    """One traced message's decomposition."""
+    """One traced message's decomposition (the collector's view)."""
 
     trace_id: int
     channel_id: int
     src_host: int
     dst_host: int
     payload_size: int
-    sent_local_ns: int          #: T1, sender's clock
-    received_local_ns: int      #: T2, receiver's clock
-    network_ns: int             #: T2 - T1 - Toff
-    total_ns: int               #: send → app-level ack (sender view)
+    kind: str = ""
+    view: str = "sender"        #: which end's tracer created the record
+    sent_local_ns: int = 0      #: T1, sender's clock
+    received_local_ns: int = 0  #: T2, receiver's clock
+    network_ns: int = 0         #: T2 - T1 - Toff (may be negative: residual)
+    total_ns: int = 0           #: app enqueue → app-level ack (sender view)
+    started_at_ns: int = 0      #: sim-time send enqueue
+    spans: List[Tuple[str, int]] = field(default_factory=list)
+    complete: bool = False      #: delivered *and* acked; totals are final
+    residual_ns: int = 0        #: total - Σ spans (zero unless a hook broke)
+
+    def dominant_span(self) -> Tuple[str, int]:
+        """The longest segment — critical-path attribution for one trace."""
+        if not self.spans:
+            return ("", 0)
+        return max(self.spans, key=lambda item: (item[1], item[0]))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "channel_id": self.channel_id,
+            "src_host": self.src_host,
+            "dst_host": self.dst_host,
+            "payload_size": self.payload_size,
+            "kind": self.kind,
+            "view": self.view,
+            "sent_local_ns": self.sent_local_ns,
+            "received_local_ns": self.received_local_ns,
+            "network_ns": self.network_ns,
+            "total_ns": self.total_ns,
+            "started_at_ns": self.started_at_ns,
+            "spans": [[stage, duration] for stage, duration in self.spans],
+            "complete": self.complete,
+            "residual_ns": self.residual_ns,
+        }
 
 
 @dataclass
@@ -52,58 +186,151 @@ class SlowLogEntry:
 
 
 class Tracer:
-    """Per-context tracing hooks; attach via ``ctx.tracer = tracer``."""
+    """Per-context tracing hooks; attach via ``Tracer(ctx, clocksync)``."""
 
     def __init__(self, ctx: "XrdmaContext", clocksync: ClockSync):
         self.ctx = ctx
         self.clocksync = clocksync
         self.clock = clocksync.clock(ctx.nic.host_id)
         self.records: Dict[int, TraceRecord] = {}
+        #: sender-side contexts begun but not yet acked
+        self.pending: Dict[int, TraceContext] = {}
         self.slow_log: List[SlowLogEntry] = []
         self.poll_gap_log: List[SlowLogEntry] = []
         self.latency = LatencyHistogram()
         self.network_latency = LatencyHistogram()
+        #: per-stage span histograms (completed traces only)
+        self.segment_latency: Dict[str, LatencyHistogram] = {}
+        #: negative network decompositions (clock-sync residual larger than
+        #: the true network time) — surfaced, not hidden by the clamp
+        self.negative_network_clamped = 0
+        #: marks suppressed across finalized traces (retransmit visibility)
+        self.suppressed_marks = 0
         ctx.tracer = self
 
-    # ----------------------------------------------------- context callbacks
-    def _sampled(self, msg: "XrdmaMessage") -> bool:
+    # ----------------------------------------------------------- sampling
+    def samples(self, trace_id: int) -> bool:
+        """THE sampling decision — made once, on the sender, and carried to
+        the receiver inside the header (symmetric by construction)."""
         mask = self.ctx.config.trace_sample_mask
-        if mask == 0 or msg.header is None or msg.header.trace_id == 0:
+        if mask == 0 or trace_id == 0:
             return False
-        return msg.header.trace_id % mask == 0 if mask > 1 else True
+        return trace_id % mask == 0 if mask > 1 else True
+
+    # ------------------------------------------------------ channel hooks
+    def begin_trace(self, channel: "XrdmaChannel", msg: "XrdmaMessage",
+                    header: "XrdmaHeader") -> Optional[TraceContext]:
+        """Sender side, called at header build time: start the span chain
+        for a sampled message (returns None when unsampled)."""
+        if not self.samples(header.trace_id):
+            return None
+        trace = TraceContext(header.trace_id, self.ctx.sim, msg.created_at)
+        record = TraceRecord(
+            trace_id=header.trace_id, channel_id=channel.channel_id,
+            src_host=self.ctx.nic.host_id, dst_host=channel.remote_host,
+            payload_size=msg.payload_size, kind=msg.kind.name,
+            view="sender", sent_local_ns=header.sent_at_ns,
+            started_at_ns=msg.created_at)
+        trace.sender_record = record
+        self.records[header.trace_id] = record
+        self.pending[header.trace_id] = trace
+        trace.mark("window_wait")
+        return trace
 
     def on_message_delivered(self, channel: "XrdmaChannel",
                              msg: "XrdmaMessage") -> None:
-        """Receiver side: build the network decomposition."""
-        if not self._sampled(msg):
-            return
+        """Receiver side: build the network decomposition.
+
+        Records if and only if the sender sampled the message — the trace
+        context in the header *is* the decision, so sender and receiver
+        histograms share one denominator.
+        """
         header = msg.header
+        trace = None if header is None else getattr(header, "trace", None)
+        if trace is None or trace.delivery_record is not None:
+            return
         src_host = channel.remote_host
         dst_host = self.ctx.nic.host_id
-        toff = self.clocksync.offset(src_host, dst_host)
+        toff = self.clocksync.offset(src_host, dst_host,
+                                     now_ns=self.ctx.sim.now)
         received_local = self.clock.read(self.ctx.sim.now)
         network = received_local - header.sent_at_ns - toff
-        record = TraceRecord(
-            trace_id=header.trace_id, channel_id=channel.channel_id,
-            src_host=src_host, dst_host=dst_host,
-            payload_size=header.payload_size,
-            sent_local_ns=header.sent_at_ns,
-            received_local_ns=received_local,
-            network_ns=network, total_ns=0)
-        self.records[header.trace_id] = record
+        record = self.records.get(trace.trace_id)
+        if record is None:
+            record = TraceRecord(
+                trace_id=trace.trace_id, channel_id=channel.channel_id,
+                src_host=src_host, dst_host=dst_host,
+                payload_size=header.payload_size, kind=header.kind.name,
+                view="receiver", sent_local_ns=header.sent_at_ns,
+                started_at_ns=trace.start_ns)
+            self.records[trace.trace_id] = record
+        record.received_local_ns = received_local
+        record.network_ns = network
+        trace.delivery_record = record
+        if network < 0:
+            # Clock-sync residual exceeded the true network time.  The
+            # histogram needs a non-negative value, but the event itself
+            # is a crucial index (Monitor series), not something to hide.
+            self.negative_network_clamped += 1
         self.network_latency.record(max(network, 0))
 
     def on_message_acked(self, channel: "XrdmaChannel",
                          msg: "XrdmaMessage") -> None:
-        """Sender side: end-to-end (send → app ack) latency."""
-        if msg.header is None or msg.header.trace_id == 0:
+        """Sender side: the app-level ack closes the chain; finalize."""
+        header = msg.header
+        trace = None if header is None else getattr(header, "trace", None)
+        if trace is None:
             return
-        total = self.ctx.sim.now - msg.created_at
-        self.latency.record(total)
-        record = self.records.get(msg.header.trace_id)
-        if record is not None:
-            record.total_ns = total
+        trace.mark("ack_return")
+        self._finalize(trace, msg)
 
+    def _finalize(self, trace: TraceContext, msg: "XrdmaMessage") -> None:
+        record = trace.sender_record
+        if record is None or record.complete:
+            return
+        # The end-to-end total is measured independently of the marks
+        # (enqueue to ack, the latency the application observes); the
+        # spans must account for every nanosecond of it.
+        total = self.ctx.sim.now - msg.created_at
+        spans = trace.spans()
+        residual = total - sum(duration for _, duration in spans)
+        record.total_ns = total
+        record.spans = spans
+        record.residual_ns = residual
+        record.complete = True
+        self.pending.pop(trace.trace_id, None)
+        self.suppressed_marks += trace.suppressed_marks
+        self.latency.record(total)
+        for stage, duration in spans:
+            histogram = self.segment_latency.get(stage)
+            if histogram is None:
+                histogram = self.segment_latency[stage] = LatencyHistogram()
+            histogram.record(duration)
+        # Centralized-collector join: stamp the sender's totals into the
+        # receiver-side record (the same TraceContext object reaches both
+        # tracers), and the receiver's network view back into ours.
+        delivery = trace.delivery_record
+        if delivery is not None and delivery is not record:
+            delivery.total_ns = total
+            delivery.spans = spans
+            delivery.residual_ns = residual
+            delivery.complete = True
+            record.received_local_ns = delivery.received_local_ns
+            record.network_ns = delivery.network_ns
+        if invariants.ENABLED:
+            _invariant(residual == 0, "tracing.span_residual",
+                       lambda: f"trace {trace.trace_id}: total {total} != "
+                               f"Σ spans {total - residual} "
+                               f"(residual {residual})")
+            required = REQUIRED_STAGES
+            if getattr(msg.header, "large", False):
+                required = required | LARGE_STAGES
+            missing = required.difference(trace.stages())
+            _invariant(not missing, "tracing.incomplete_span_chain",
+                       lambda: f"trace {trace.trace_id} missing "
+                               f"{sorted(missing)}")
+
+    # ----------------------------------------------------- context callbacks
     def on_slow_poll(self, ctx: "XrdmaContext", gap_ns: int) -> None:
         """Method II: the polling watchdog fired."""
         self.poll_gap_log.append(SlowLogEntry(
@@ -125,6 +352,62 @@ class Tracer:
         return self.records.get(msg.header.trace_id)
 
     # ------------------------------------------------------------- summaries
+    def incomplete_count(self) -> int:
+        """Sampled traces that never closed (dropped, unacked, in flight)."""
+        return sum(1 for record in self.records.values()
+                   if not record.complete)
+
+    def export_records(self) -> List[Dict[str, Any]]:
+        """Every record as a JSONL-ready dict, ordered by trace id."""
+        return [self.records[trace_id].as_dict()
+                for trace_id in sorted(self.records)]
+
     def sent_record_sync(self, remote_host: int) -> int:
         """(Re)sync clocks with ``remote_host``; returns the estimate."""
-        return self.clocksync.sync(self.ctx.nic.host_id, remote_host)
+        return self.clocksync.sync(self.ctx.nic.host_id, remote_host,
+                                   now_ns=self.ctx.sim.now)
+
+
+# ------------------------------------------------------------- run artifact
+def merged_trace_records(tracers: Iterable[Tracer]) -> List[Dict[str, Any]]:
+    """One dict per trace across many tracers, sender view preferred.
+
+    Sender and receiver tracers each hold a record for the same trace id;
+    after the finalize join they agree on spans and totals, so the export
+    keeps a single line per trace (deterministic order: by trace id).
+    """
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for tracer in tracers:
+        for record in tracer.export_records():
+            existing = by_id.get(record["trace_id"])
+            if existing is None or (existing["view"] != "sender"
+                                    and record["view"] == "sender"):
+                by_id[record["trace_id"]] = record
+    return [by_id[trace_id] for trace_id in sorted(by_id)]
+
+
+def export_jsonl(path: Any, tracers: Iterable[Tracer],
+                 meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write one trace artifact: a meta line, then one line per trace.
+
+    Returns the number of trace lines written.  The format is what
+    ``repro.tools.xr_trace`` reads and what fleet runs attach per unit.
+    """
+    tracers = list(tracers)
+    records = merged_trace_records(tracers)
+    header: Dict[str, Any] = {
+        "records": len(records),
+        "incomplete": sum(1 for record in records
+                          if not record["complete"]),
+        "negative_network_clamped": sum(
+            tracer.negative_network_clamped for tracer in tracers),
+        "suppressed_marks": sum(
+            tracer.suppressed_marks for tracer in tracers),
+    }
+    if meta:
+        header.update(meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"meta": header}, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)

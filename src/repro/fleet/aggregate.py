@@ -37,8 +37,10 @@ __all__ = ["aggregate_records", "percentile", "metric_stats",
            "aggregate_tables"]
 
 #: attempt-record fields that never enter the aggregate (host-timing or
-#: bookkeeping the invariance guarantee must not depend on)
-_EXCLUDED_FIELDS = ("wall_s", "worker", "final")
+#: bookkeeping the invariance guarantee must not depend on; ``traces``
+#: is normally split into traces.jsonl before records reach us, but a
+#: hand-fed record must not bloat the aggregate either)
+_EXCLUDED_FIELDS = ("wall_s", "worker", "final", "traces")
 
 
 def percentile(values: Sequence[float], q: float) -> float:

@@ -86,10 +86,22 @@ def _smoke_specs(quick: bool) -> List[ExperimentSpec]:
                     "checks")]
 
 
+def _trace_specs(quick: bool) -> List[ExperimentSpec]:
+    seeds = [0] if quick else [0, 1, 2]
+    sizes = [2048] if quick else [2048, 256 * KB]
+    return [ExperimentSpec(
+        name="trace-rpc", scenario="traced-rpc",
+        grid={"size": sizes}, seeds=seeds,
+        timeout_s=60.0, max_events=2_000_000,
+        description="span-traced RPC: XR-Trace artifact + critical-path "
+                    "attribution (Sec. VI-A / VII-D)")]
+
+
 SPEC_SETS = {
     "ablation-grid": _ablation_specs,
     "fig10": _fig10_specs,
     "smoke": _smoke_specs,
+    "trace": _trace_specs,
 }
 
 

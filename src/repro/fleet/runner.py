@@ -29,7 +29,10 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis import invariants
+from repro.analysis.clocksync import ClockSync
 from repro.analysis.monitor import Monitor
+from repro.analysis.stats import LatencyHistogram
+from repro.analysis.tracing import Tracer, merged_trace_records
 from repro.cluster import Cluster, build_cluster
 from repro.sim.engine import Simulator
 from repro.sim.params import SimParams
@@ -70,6 +73,10 @@ class RunContext:
         self._wall_timeout_s = wall_timeout_s
         self._sims: List[Simulator] = []
         self._monitors: List[Monitor] = []
+        self._tracers: List[Tracer] = []
+        #: one shared ClockSync per cluster (identity-matched list, not an
+        #: id()-keyed dict, so iteration order never depends on addresses)
+        self._clocksyncs: List[Any] = []
 
     # ------------------------------------------------------------ factories
     def build_cluster(self, n_hosts: int = 4,
@@ -98,6 +105,24 @@ class RunContext:
         mon.start_fabric_sampler()
         self._monitors.append(mon)
         return mon
+
+    def attach_tracer(self, cluster: Cluster, xrdma_ctx: Any,
+                      resync_after_ns: Optional[int] = None) -> Tracer:
+        """Attach an XR-Trace tracer to one context; tracers on the same
+        cluster share one ClockSync (network decomposition needs both ends
+        on the same offset table).  Trace records flow into the run record
+        via :meth:`trace_rollup` / :meth:`trace_records`."""
+        sync: Optional[ClockSync] = None
+        for owner, existing in self._clocksyncs:
+            if owner is cluster:
+                sync = existing
+                break
+        if sync is None:
+            sync = ClockSync(cluster.rng, resync_after_ns=resync_after_ns)
+            self._clocksyncs.append((cluster, sync))
+        tracer = Tracer(xrdma_ctx, sync)
+        self._tracers.append(tracer)
+        return tracer
 
     # ------------------------------------------------------------ collection
     def schedule_digest(self) -> str:
@@ -131,6 +156,42 @@ class RunContext:
                     "peak": max(values),
                 }
         return rollup
+
+    def trace_rollup(self) -> Dict[str, Any]:
+        """Deterministic XR-Trace summary for the run record ({} when no
+        tracer is attached)."""
+        if not self._tracers:
+            return {}
+        records = self.trace_records()
+        completed = sum(1 for record in records if record["complete"])
+        segments: Dict[str, Dict[str, float]] = {}
+        merged: Dict[str, LatencyHistogram] = {}
+        for tracer in self._tracers:
+            for stage in sorted(tracer.segment_latency):
+                histogram = merged.get(stage)
+                if histogram is None:
+                    histogram = merged[stage] = LatencyHistogram()
+                histogram.merge(tracer.segment_latency[stage])
+        for stage in sorted(merged):
+            histogram = merged[stage]
+            segments[stage] = {
+                "count": histogram.count,
+                "p99_ns": histogram.percentile(99),
+            }
+        return {
+            "records": len(records),
+            "completed": completed,
+            "incomplete": len(records) - completed,
+            "negative_network_clamped": sum(
+                tracer.negative_network_clamped for tracer in self._tracers),
+            "suppressed_marks": sum(
+                tracer.suppressed_marks for tracer in self._tracers),
+            "segments": segments,
+        }
+
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Every trace, one dict per trace id (sender view preferred)."""
+        return merged_trace_records(self._tracers)
 
 
 # --------------------------------------------------------------- resolution
@@ -199,7 +260,7 @@ def execute_unit(task: Dict[str, Any]) -> Dict[str, Any]:
         violations = registry.total - violations_before
         if owns_registry:
             invariants.uninstall()
-    return {
+    record = {
         "run_id": task["run_id"],
         "experiment": task["experiment"],
         "scenario": task["scenario"],
@@ -216,6 +277,13 @@ def execute_unit(task: Dict[str, Any]) -> Dict[str, Any]:
         "monitor": ctx.monitor_rollup(),
         "wall_s": round(_wall() - t0, 4),
     }
+    trace = ctx.trace_rollup()
+    if trace:
+        # Only traced scenarios grow these keys, so untraced sweeps keep
+        # byte-identical records (and aggregates) with older ones.
+        record["trace"] = trace
+        record["traces"] = ctx.trace_records()
+    return record
 
 
 def run_scenario_inline(scenario: str, params: Dict[str, Any],

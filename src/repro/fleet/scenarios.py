@@ -29,7 +29,7 @@ from repro.xrdma.memcache import MemCache
 
 __all__ = ["SCENARIOS", "scenario", "fragment_incast", "rpc_latency",
            "window_throughput", "mr_registration", "fig10_incast",
-           "smoke_incast"]
+           "smoke_incast", "traced_rpc"]
 
 SCENARIOS: Dict[str, ScenarioFn] = {}
 
@@ -174,6 +174,67 @@ def mr_registration(ctx: RunContext) -> Dict[str, Any]:
     for buffer in buffers:
         cache.free(buffer)
     return {"mr_count": cache.mr_count, "alloc_us": alloc_us}
+
+
+@scenario("traced-rpc")
+def traced_rpc(ctx: RunContext) -> Dict[str, Any]:
+    """Span-traced closed-loop RPC: the XR-Trace artifact run (Sec. VI-A).
+
+    Both ends run in req-rsp mode with a tracer attached; every sampled
+    RPC decomposes into the full span chain, and the run record carries
+    the trace rollup plus per-trace lines (``traces.jsonl``).
+
+    params: optional size, iterations, sample_mask, resync_after_ns.
+    """
+    params = ctx.params
+    size = int(params.get("size", 2048))
+    iterations = int(params.get("iterations", 24))
+    mask = int(params.get("sample_mask", 1))
+    resync = params.get("resync_after_ns")
+    resync = int(resync) if resync is not None else None
+    config = XrdmaConfig(req_rsp_mode=True, trace_sample_mask=mask)
+    cluster = ctx.build_cluster(2)
+    ctx.monitor(cluster)
+    client = cluster.xrdma_context(0, config=config)
+    server = cluster.xrdma_context(1, config=config)
+    client_tracer = ctx.attach_tracer(cluster, client,
+                                      resync_after_ns=resync)
+    ctx.attach_tracer(cluster, server, resync_after_ns=resync)
+    accepted = server.listen(8670)
+    sim = cluster.sim
+
+    def run():
+        channel = yield from client.connect(1, 8670)
+        server_channel = yield accepted.get()
+        server_channel.on_request = \
+            lambda msg: server.send_response(msg, 64)
+        for _ in range(iterations):
+            request = client.send_request(channel, size)
+            yield request.response
+        # Settle: let trailing piggybacked/standalone acks close the
+        # last spans on both sides before we read the histograms.
+        yield sim.timeout(500 * MICROS)
+
+    proc = sim.spawn(run())
+    sim.run_until_event(proc, limit=60 * SECONDS)
+    totals: Dict[str, int] = {}
+    for record in client_tracer.records.values():
+        if record.complete:
+            for stage, duration in record.spans:
+                totals[stage] = totals.get(stage, 0) + duration
+    dominant = (max(sorted(totals), key=lambda stage: totals[stage])
+                if totals else "")
+    rollup = ctx.trace_rollup()
+    p99 = (client_tracer.latency.percentile(99)
+           if client_tracer.latency.count else 0.0)
+    return {
+        "rpcs": iterations,
+        "traces_completed": rollup["completed"],
+        "traces_incomplete": rollup["incomplete"],
+        "negative_network_clamped": rollup["negative_network_clamped"],
+        "client_p99_total_us": round(p99 / 1000, 3),
+        "dominant_segment": dominant,
+    }
 
 
 # ---------------------------------------------------------------- figures

@@ -33,6 +33,7 @@ __all__ = ["ResultStore", "canonical_json"]
 
 PLAN_NAME = "plan.json"
 RUNS_NAME = "runs.jsonl"
+TRACES_NAME = "traces.jsonl"
 AGGREGATE_NAME = "aggregate.json"
 MANIFEST_NAME = "manifest.json"
 
@@ -60,6 +61,10 @@ class ResultStore:
         return self.root / RUNS_NAME
 
     @property
+    def traces_path(self) -> Path:
+        return self.root / TRACES_NAME
+
+    @property
     def aggregate_path(self) -> Path:
         return self.root / AGGREGATE_NAME
 
@@ -78,9 +83,26 @@ class ResultStore:
         }
         self.plan_path.write_text(canonical_json(plan), encoding="utf-8")
         self._runs_handle = open(self.runs_path, "w", encoding="utf-8")
+        # A fresh sweep must not inherit a previous sweep's trace lines.
+        self.traces_path.unlink(missing_ok=True)
 
     def append(self, record: Dict[str, Any]) -> None:
-        """Append one attempt record, durably (flush + fsync)."""
+        """Append one attempt record, durably (flush + fsync).
+
+        Per-trace lines (the bulky ``traces`` list of traced scenarios)
+        are split off into ``traces.jsonl`` — the run record keeps the
+        compact ``trace`` rollup; the artifact file is what
+        ``repro.tools.xr_trace`` analyzes.
+        """
+        traces = record.pop("traces", None)
+        if traces:
+            with open(self.traces_path, "a", encoding="utf-8") as handle:
+                for entry in traces:
+                    stamped = dict(entry)
+                    stamped["run_id"] = record.get("run_id", "")
+                    stamped["attempt"] = record.get("attempt", 0)
+                    handle.write(json.dumps(stamped, sort_keys=True,
+                                            ensure_ascii=False) + "\n")
         if self._runs_handle is None:
             self._runs_handle = open(self.runs_path, "a", encoding="utf-8")
         line = json.dumps(record, sort_keys=True, ensure_ascii=False)
@@ -133,6 +155,22 @@ class ResultStore:
             if record.get("final"):
                 final[record["run_id"]] = record
         return final
+
+    def load_traces(self) -> List[Dict[str, Any]]:
+        """Every exported trace line, in append order (torn-tail tolerant)."""
+        if not self.traces_path.exists():
+            return []
+        traces: List[Dict[str, Any]] = []
+        with open(self.traces_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    traces.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+        return traces
 
     def load_aggregate(self) -> Dict[str, Any]:
         with open(self.aggregate_path, encoding="utf-8") as handle:

@@ -385,6 +385,10 @@ class Rnic(Device):
             imm_data=wr.imm_data,
             app_payload=(wr.payload if offset == 0 else None),
         )
+        if offset == 0:
+            trace = getattr(wr.payload, "trace", None)
+            if trace is not None:
+                trace.mark("nic_tx")
         self._send_segment(qp.remote_host, frag_len, SegmentKind.DATA,
                            qp.qpn, packet)
         msg.sent_bytes = offset + max(frag_len, 1)
@@ -662,6 +666,11 @@ class Rnic(Device):
 
     def _complete_inbound(self, qp: QueuePair, segment: Segment,
                           packet: RcPacket, msg: InboundMessage) -> None:
+        trace = getattr(msg.app_payload, "trace", None)
+        if trace is not None:
+            # CQE + DMA delay land in the poll-pickup span, where the
+            # receiving software actually waits them out.
+            trace.mark("rx_nic")
         self.rx_messages += 1
         self.rx_bytes += msg.total_length
         self._ack(qp, packet.src_qpn, segment.src, packet.psn)

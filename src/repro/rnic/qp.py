@@ -184,6 +184,9 @@ class QueuePair:
         if len(self.sq) + len(self.outstanding) >= self.sq_depth:
             raise QpStateError(f"SQ full (depth {self.sq_depth})")
         self.sq.append(wr)
+        trace = getattr(wr.payload, "trace", None)
+        if trace is not None:
+            trace.mark("post_send")
 
     def post_recv(self, wr: WorkRequest) -> None:
         if self.srq is not None:

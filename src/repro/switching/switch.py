@@ -109,6 +109,11 @@ class Switch(Device):
             self._paused_upstream[in_port] = True
             self.stats.pause_frames += 1
             self._notify_upstream(in_port, pause=True)
+        app = getattr(segment.payload, "app_payload", None)
+        if app is not None:
+            trace = getattr(app, "trace", None)
+            if trace is not None:
+                trace.mark(f"wire_hop{segment.hops}")
         port.enqueue(segment)
 
     def pause_port(self, port: int, priority: int, pause: bool) -> None:

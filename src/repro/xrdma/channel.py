@@ -168,6 +168,9 @@ class XrdmaChannel:
         if config.req_rsp_mode:
             header.trace_id = next(_trace_ids)
             header.sent_at_ns = self.ctx.local_time()
+            tracer = self.ctx.tracer
+            if tracer is not None:
+                header.trace = tracer.begin_trace(self, msg, header)
         return header
 
     def _send_small(self, msg: XrdmaMessage,
@@ -188,6 +191,8 @@ class XrdmaChannel:
             msg.owns_buffer = True
         header.src_addr = msg.src_buffer.addr
         header.src_rkey = msg.src_buffer.rkey
+        if header.trace is not None:
+            header.trace.mark("src_alloc")
         wire = header.wire_bytes(self.ctx.config.req_rsp_mode)
         wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
                          imm_data=header.ack & 0xFFFF_FFFF, payload=header)
@@ -241,6 +246,10 @@ class XrdmaChannel:
         # the first read's buffer, and re-staging delivery would strand a
         # stale entry behind the delivery cursor forever.
         duplicate = self.window.is_duplicate(header.seq)
+        if not duplicate and header.trace is not None:
+            # Attach before on_arrival: a complete arrival advances rta
+            # (and closes the window_ready span) immediately.
+            self.window.attach_trace(header.seq, header.trace)
         self.window.on_arrival(header.seq, complete=not header.large)
         if header.large:
             if not duplicate:
@@ -323,6 +332,8 @@ class XrdmaChannel:
         rendezvous = self._rendezvous.pop(seq, None)
         if rendezvous is None:
             return
+        if rendezvous.header.trace is not None:
+            rendezvous.header.trace.mark("rendezvous_read")
         self.window.on_complete(seq)
         self._pending_delivery[seq] = (rendezvous.header,
                                        rendezvous.started_at)
@@ -340,6 +351,8 @@ class XrdmaChannel:
             request_msg_id=header.request_msg_id)
         msg.created_at = arrived_at
         msg.delivered_at = self.ctx.sim.now
+        if header.trace is not None:
+            header.trace.mark("rx_deliver")
         if self.ctx.tracer is not None:
             self.ctx.tracer.on_message_delivered(self, msg)
         if header.kind is MessageKind.RESPONSE:
@@ -395,6 +408,7 @@ class XrdmaChannel:
                 self.ctx.memcache.free(rendezvous.buffer)
         self._rendezvous.clear()
         self._pending_delivery.clear()
+        self.window.drop_traces()
         self.flow.drop_all()
         while self._recv_buffers:
             self.ctx.memcache.free(self._recv_buffers.popleft())

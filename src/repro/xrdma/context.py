@@ -424,10 +424,14 @@ class XrdmaContext:
             delay = self.filter.delay_for(channel, completion)
             if delay:
                 yield self.sim.timeout(delay)
-            if self.filter.should_duplicate(channel, completion):
-                # Middleware-level retransmit: the same header arrives
-                # twice (the channel must treat it idempotently).
-                yield from channel.on_receive(completion)
+        trace = getattr(completion.payload, "trace", None)
+        if trace is not None:
+            trace.mark("rx_poll")
+        if self.filter is not None and self.filter.should_duplicate(
+                channel, completion):
+            # Middleware-level retransmit: the same header arrives
+            # twice (the channel must treat it idempotently).
+            yield from channel.on_receive(completion)
         yield from channel.on_receive(completion)
 
     def _handle_send_completion(self,

@@ -154,6 +154,9 @@ class FlowController:
         yield from self._issue(wr)
 
     def _issue(self, wr: WorkRequest) -> ProcessGenerator:
+        trace = getattr(wr.payload, "trace", None)
+        if trace is not None:
+            trace.mark("flowctl_queue")
         self.outstanding += 1
         if self.enabled and self.budget is not None:
             self.budget.acquire()

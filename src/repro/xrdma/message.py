@@ -54,6 +54,9 @@ class XrdmaHeader:
     #: req-rsp tracing fields
     trace_id: int = 0
     sent_at_ns: int = 0
+    #: XR-Trace span context for sampled messages (rides with the header
+    #: end to end; None when unsampled or tracing is off)
+    trace: Any = None
     #: opaque application payload riding with the header
     user_payload: Any = None
 

@@ -40,6 +40,9 @@ class SeqAckWindow:
         self.rta = 0           #: contiguous prefix fully received
         self.sent_ack = 0      #: highest rta we have told the peer about
         self._pending_rx: Dict[int, bool] = {}   #: seq -> fully-received?
+        #: seq -> XR-Trace context for sampled arrivals; the window is
+        #: where "ready" happens, so it closes the ``window_ready`` span.
+        self._traces: Dict[int, object] = {}
 
     # ------------------------------------------------------------ sender ops
     @property
@@ -103,6 +106,16 @@ class SeqAckWindow:
         """Whether ``seq`` was already seen (delivered or still pending)."""
         return seq < self.rta or seq in self._pending_rx
 
+    def attach_trace(self, seq: int, trace: object) -> None:
+        """Remember a sampled arrival's trace context until ``seq`` joins
+        the ready prefix (call before :meth:`on_arrival` — a complete
+        arrival advances rta immediately)."""
+        self._traces[seq] = trace
+
+    def drop_traces(self) -> None:
+        """Channel teardown: pending arrivals will never become ready."""
+        self._traces.clear()
+
     def on_complete(self, seq: int) -> None:
         """The payload for ``seq`` is now fully received/processed."""
         if seq < self.rta:
@@ -115,6 +128,10 @@ class SeqAckWindow:
     def _advance_rta(self) -> None:
         while self._pending_rx.get(self.rta, False):
             del self._pending_rx[self.rta]
+            if self._traces:
+                trace = self._traces.pop(self.rta, None)
+                if trace is not None:
+                    trace.mark("window_ready")
             self.rta += 1
         self._audit()
 

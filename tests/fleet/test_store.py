@@ -55,6 +55,37 @@ class TestStore:
             handle.write('{"run_id": "exp/x=2/s0", "status": "ok"')
         assert len(store.load_records()) == 1
 
+    def test_traces_split_into_own_artifact(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep")
+        store.begin([spec()], spec().expand())
+        traced = record("exp/x=1/s0")
+        traced["trace"] = {"records": 2, "completed": 2}
+        traced["traces"] = [{"trace_id": 1, "total_ns": 10},
+                            {"trace_id": 2, "total_ns": 20}]
+        store.append(traced)
+        store.append(record("exp/x=2/s0"))      # untraced record: no lines
+        store.close()
+        # The run record keeps the rollup but not the per-trace bulk.
+        records = store.load_records()
+        assert records[0]["trace"] == {"records": 2, "completed": 2}
+        assert "traces" not in records[0]
+        # traces.jsonl carries one stamped line per trace.
+        traces = store.load_traces()
+        assert [t["trace_id"] for t in traces] == [1, 2]
+        assert all(t["run_id"] == "exp/x=1/s0" for t in traces)
+        assert all(t["attempt"] == 0 for t in traces)
+
+    def test_begin_clears_stale_traces(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep")
+        store.begin([spec()], spec().expand())
+        traced = record("exp/x=1/s0")
+        traced["traces"] = [{"trace_id": 1}]
+        store.append(traced)
+        store.close()
+        store.begin([spec()], spec().expand())  # fresh sweep, same dir
+        store.close()
+        assert store.load_traces() == []
+
     def test_append_reopens_after_close(self, tmp_path):
         # An `aggregate` verb run after an interrupted sweep must be able
         # to keep appending without clobbering the log.

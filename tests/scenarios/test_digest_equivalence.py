@@ -22,9 +22,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import invariants
+from repro.analysis import ClockSync, Tracer, invariants
 from repro.cluster import build_cluster
-from repro.sim import Simulator
+from repro.sim import SECONDS, Simulator
+from repro.xrdma import XrdmaConfig
 from repro.xrdma.memcache import MemCache
 
 from tests.scenarios.test_determinism import run_incast
@@ -140,6 +141,42 @@ def test_disabled_invariants_do_not_change_the_schedule():
         invariants.install(saved)
     assert audit_on.digest() == audit_off.digest()
     assert audit_on.pops == audit_off.pops
+
+
+def test_tracing_is_digest_neutral():
+    """XR-Trace marks are passive timestamp captures: attaching tracers
+    (req-rsp mode, every message sampled, small and rendezvous paths)
+    must not create, drop, or reorder a single event — byte-identical
+    schedule digests with and without the tracer."""
+    def run(traced):
+        cluster = build_cluster(2, seed=21)
+        audit = cluster.sim.enable_tie_audit()
+        config = XrdmaConfig(req_rsp_mode=True, trace_sample_mask=1)
+        client = cluster.xrdma_context(0, config=config)
+        server = cluster.xrdma_context(1, config=config)
+        if traced:
+            sync = ClockSync(cluster.rng)
+            Tracer(client, sync)
+            Tracer(server, sync)
+        accepted = server.listen(9400)
+
+        def scenario():
+            channel = yield from client.connect(1, 9400)
+            server_channel = yield accepted.get()
+            server_channel.on_request = \
+                lambda msg: server.send_response(msg, 64)
+            for size in (64, 2048, 256 * 1024):
+                for _ in range(4):
+                    request = client.send_request(channel, size)
+                    yield request.response
+
+        proc = cluster.sim.spawn(scenario())
+        cluster.sim.run_until_event(proc, limit=60 * SECONDS)
+        return audit
+
+    audit_on, audit_off = run(True), run(False)
+    assert audit_on.pops == audit_off.pops
+    assert audit_on.digest() == audit_off.digest()
 
 
 def test_bucketed_free_list_is_first_fit_equivalent():
