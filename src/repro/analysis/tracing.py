@@ -71,6 +71,17 @@ REQUIRED_STAGES = frozenset((
 #: Extra stages required when the message went through rendezvous.
 LARGE_STAGES = frozenset(("src_alloc", "rendezvous_read"))
 
+#: Stages of a completed *setup* trace (channel establishment).  The
+#: control plane decomposes the same zero-residual way the data path
+#: does: address/route resolve, QP allocation + INIT (``qp_setup``), the
+#: REQ/REP wait, RTR+RTS (``qp_to_rts``), the first receive-buffer MR
+#: registration (``mr_reg`` — zero when the memory cache is warm) and
+#: the remaining receive pre-posting (``recv_prime``).
+SETUP_STAGES = frozenset((
+    "cm_resolve", "qp_setup", "handshake", "qp_to_rts",
+    "mr_reg", "recv_prime",
+))
+
 
 class TraceContext:
     """Per-sampled-message span accumulator, propagated inside the header.
@@ -87,12 +98,13 @@ class TraceContext:
                  "sender_record", "delivery_record")
 
     def __init__(self, trace_id: int, sim: "Simulator",
-                 start_ns: int) -> None:
+                 start_ns: int, anchor: str = "app_enqueue") -> None:
         self.trace_id = trace_id
         self.sim = sim
-        #: (stage, timestamp); marks[0] anchors the chain at app enqueue
-        self.marks: List[Tuple[str, int]] = [("app_enqueue", start_ns)]
-        self._seen = {"app_enqueue"}
+        #: (stage, timestamp); marks[0] anchors the chain (app enqueue
+        #: for message traces, setup_begin for establishment traces)
+        self.marks: List[Tuple[str, int]] = [(anchor, start_ns)]
+        self._seen = {anchor}
         #: re-traversals that tried to close an already-closed span
         self.suppressed_marks = 0
         self.sender_record: Optional["TraceRecord"] = None
@@ -199,6 +211,8 @@ class Tracer:
         self.poll_gap_log: List[SlowLogEntry] = []
         self.latency = LatencyHistogram()
         self.network_latency = LatencyHistogram()
+        #: end-to-end channel-establishment latency (setup traces)
+        self.setup_latency = LatencyHistogram()
         #: per-stage span histograms (completed traces only)
         self.segment_latency: Dict[str, LatencyHistogram] = {}
         #: negative network decompositions (clock-sync residual larger than
@@ -328,6 +342,68 @@ class Tracer:
             missing = required.difference(trace.stages())
             _invariant(not missing, "tracing.incomplete_span_chain",
                        lambda: f"trace {trace.trace_id} missing "
+                               f"{sorted(missing)}")
+
+    # -------------------------------------------------------- setup tracing
+    def begin_setup(self, remote_host: int,
+                    service_port: int) -> Optional[TraceContext]:
+        """Start a channel-establishment trace (``connect`` calls this).
+
+        Setup traces draw ids from the same counter as message traces, so
+        ``(run_id, trace_id)`` stays unique across both kinds in merged
+        artifacts.  Returns None when the sample mask traces nothing.
+        """
+        if self.ctx.config.trace_sample_mask == 0:
+            return None
+        # Module-attribute lookup at call time: tests monkeypatch the
+        # counter for deterministic ids, and late import avoids a cycle.
+        from repro.xrdma import channel as _channel_mod
+        trace_id = next(_channel_mod._trace_ids)
+        now = self.ctx.sim.now
+        trace = TraceContext(trace_id, self.ctx.sim, now,
+                             anchor="setup_begin")
+        record = TraceRecord(
+            trace_id=trace_id, channel_id=0,
+            src_host=self.ctx.nic.host_id, dst_host=remote_host,
+            payload_size=0, kind="SETUP", view="setup",
+            started_at_ns=now)
+        trace.sender_record = record
+        self.records[trace_id] = record
+        self.pending[trace_id] = trace
+        return trace
+
+    def finalize_setup(self, trace: TraceContext) -> None:
+        """Close a setup trace (establishment finished and channel primed).
+
+        A failed connect simply never finalizes: the record stays
+        incomplete, which is exactly what ``incomplete_count`` reports.
+        """
+        record = trace.sender_record
+        if record is None or record.complete:
+            return
+        total = self.ctx.sim.now - trace.start_ns
+        spans = trace.spans()
+        residual = total - sum(duration for _, duration in spans)
+        record.total_ns = total
+        record.spans = spans
+        record.residual_ns = residual
+        record.complete = True
+        self.pending.pop(trace.trace_id, None)
+        self.suppressed_marks += trace.suppressed_marks
+        self.setup_latency.record(total)
+        for stage, duration in spans:
+            histogram = self.segment_latency.get(stage)
+            if histogram is None:
+                histogram = self.segment_latency[stage] = LatencyHistogram()
+            histogram.record(duration)
+        if invariants.ENABLED:
+            _invariant(residual == 0, "tracing.setup_span_residual",
+                       lambda: f"setup trace {trace.trace_id}: total "
+                               f"{total} != Σ spans {total - residual} "
+                               f"(residual {residual})")
+            missing = SETUP_STAGES.difference(trace.stages())
+            _invariant(not missing, "tracing.setup_incomplete_chain",
+                       lambda: f"setup trace {trace.trace_id} missing "
                                f"{sorted(missing)}")
 
     # ----------------------------------------------------- context callbacks

@@ -97,8 +97,29 @@ def _trace_specs(quick: bool) -> List[ExperimentSpec]:
                     "attribution (Sec. VI-A / VII-D)")]
 
 
+def _ctrlplane_specs(quick: bool) -> List[ExperimentSpec]:
+    seeds = [0] if quick else [0, 1, 2]
+    channels = [64] if quick else [512, 4096, 16384]
+    return [
+        ExperimentSpec(
+            name="ctrl-plane-setup", scenario="ctrl-plane",
+            grid={"channels": channels, "warm": [0, 1]}, seeds=seeds,
+            timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+            description="cold vs warm control plane: setup-latency CDFs "
+                        "across channel churn (Sec. VII-C / Swift)"),
+        ExperimentSpec(
+            name="ctrl-plane-nopin", scenario="ctrl-plane",
+            grid={"channels": [64] if quick else [512, 4096],
+                  "warm": [1], "no_pin": [0, 1]},
+            seeds=seeds, timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+            description="pinned vs on-demand-paging memory cache "
+                        "(NP-RDMA ablation axis)"),
+    ]
+
+
 SPEC_SETS = {
     "ablation-grid": _ablation_specs,
+    "ctrl-plane": _ctrlplane_specs,
     "fig10": _fig10_specs,
     "smoke": _smoke_specs,
     "trace": _trace_specs,

@@ -17,11 +17,12 @@ task string alone::
 
 from __future__ import annotations
 
+from collections import deque
 from statistics import mean
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.fleet.runner import RunContext, ScenarioFn
-from repro.sim import MICROS, SECONDS
+from repro.sim import MICROS, MILLIS, SECONDS
 from repro.sim.params import congested_params
 from repro.tools.xr_perf import XrPerf
 from repro.xrdma import XrdmaConfig
@@ -29,7 +30,7 @@ from repro.xrdma.memcache import MemCache
 
 __all__ = ["SCENARIOS", "scenario", "fragment_incast", "rpc_latency",
            "window_throughput", "mr_registration", "fig10_incast",
-           "smoke_incast", "traced_rpc"]
+           "smoke_incast", "traced_rpc", "ctrl_plane"]
 
 SCENARIOS: Dict[str, ScenarioFn] = {}
 
@@ -235,6 +236,105 @@ def traced_rpc(ctx: RunContext) -> Dict[str, Any]:
         "client_p99_total_us": round(p99 / 1000, 3),
         "dominant_segment": dominant,
     }
+
+
+@scenario("ctrl-plane")
+def ctrl_plane(ctx: RunContext) -> Dict[str, Any]:
+    """Control-plane churn: setup-latency CDFs, cold vs warm caches
+    (Sec. VII-C grown into the Swift elastic-control-plane story).
+
+    A client opens ``channels`` connections against one server, keeping
+    at most ``concurrency`` open (older ones close as new ones open —
+    the churn that feeds the QP cache).  Every establishment is traced
+    end to end with the ``cm_resolve``/``qp_setup``/``handshake``/
+    ``qp_to_rts``/``mr_reg``/``recv_prime`` span chain; the metrics are
+    the setup-latency CDF plus exact cache-counter accounting.
+
+    params: channels; optional warm (1 = prewarmed QP/MR caches,
+    0 = caches disabled, every connect pays full cost), concurrency,
+    no_pin (NP-RDMA-style on-demand paging in the memory cache).
+    """
+    params = ctx.params
+    n_channels = int(params.get("channels", 128))
+    warm = bool(int(params.get("warm", 1)))
+    concurrency = int(params.get("concurrency", 32))
+    no_pin = bool(int(params.get("no_pin", 0)))
+    pool = max(64, concurrency) if warm else 0
+    client_config = XrdmaConfig(
+        trace_sample_mask=1, qp_cache_capacity=pool,
+        mr_reg_cache=warm, memcache_no_pin=no_pin)
+    server_config = XrdmaConfig(
+        qp_cache_capacity=pool, mr_reg_cache=warm,
+        memcache_no_pin=no_pin)
+    cluster = ctx.build_cluster(2)
+    client = cluster.xrdma_context(0, config=client_config)
+    server = cluster.xrdma_context(1, config=server_config)
+    tracer = ctx.attach_tracer(cluster, client)
+    server.listen(8690)
+    sim = cluster.sim
+
+    def run():
+        if warm:
+            prime = min(n_channels, concurrency)
+            yield from client.qpcache.prewarm(prime)
+            yield from server.qpcache.prewarm(prime)
+            # Enough warm arenas for `concurrency` primed channels, so
+            # steady-state establishment never registers memory.
+            recv_bytes = client.config.small_msg_size + 64
+            per_channel = (client.config.inflight_depth
+                           + client.config.prepost_slack) * recv_bytes
+            arenas = (concurrency * per_channel
+                      // client.config.memcache_mr_bytes + 2)
+            yield from client.memcache.prewarm(arenas)
+            yield from server.memcache.prewarm(arenas)
+        open_channels: deque = deque()
+        for _ in range(n_channels):
+            channel = yield from client.connect(1, 8690)
+            open_channels.append(channel)
+            if len(open_channels) > concurrency:
+                yield from client.close_channel(open_channels.popleft())
+        while open_channels:
+            yield from client.close_channel(open_channels.popleft())
+        # Let the server process the trailing CLOSEs and recycle its QPs.
+        yield sim.timeout(10 * MILLIS)
+
+    proc = sim.spawn(run())
+    sim.run_until_event(proc, limit=20 * MILLIS * n_channels + 10 * SECONDS)
+
+    hist = tracer.setup_latency
+    setup_records = [record for record in tracer.records.values()
+                     if record.view == "setup"]
+    residual_violations = sum(1 for record in setup_records
+                              if record.complete and record.residual_ns)
+
+    def span_p50(stage: str) -> float:
+        histogram = tracer.segment_latency.get(stage)
+        if histogram is None or not histogram.count:
+            return 0.0
+        return round(histogram.percentile(50) / 1000, 2)
+
+    metrics: Dict[str, Any] = {
+        "channels": n_channels,
+        "warm": int(warm),
+        "no_pin": int(no_pin),
+        "setup_traces": hist.count,
+        "setup_residual_violations": residual_violations,
+        "qp_setup_p50_us": span_p50("qp_setup"),
+        "mr_reg_p50_us": span_p50("mr_reg"),
+        "qp_cache_hits": client.qpcache.hits,
+        "qp_cache_misses": client.qpcache.misses,
+        "qp_cache_recycled": client.qpcache.recycled,
+        "qp_cache_destroyed": client.qpcache.destroyed,
+        "mr_cache_hits": (client.mr_reg_cache.hits
+                          if client.mr_reg_cache is not None else 0),
+        "qps_created": cluster.host(0).verbs.qps_created,
+        "mrs_registered": cluster.host(0).verbs.mrs_registered,
+        "pages_faulted": client.memcache.pages_faulted,
+    }
+    for pct in (10, 25, 50, 75, 90, 99):
+        metrics[f"setup_p{pct}_us"] = (
+            round(hist.percentile(pct) / 1000, 1) if hist.count else 0.0)
+    return metrics
 
 
 # ---------------------------------------------------------------- figures

@@ -62,6 +62,15 @@ class SimParams:
     mr_register_per_page_ns: int = 220      #: per 4 KB page
     host_wakeup_ns: int = 4 * MICROS        #: epoll wakeup (event mode)
 
+    # -------------------------------------------- on-demand paging (no-pin)
+    #: ODP registration: no pinning, so no per-page cost — just the driver
+    #: call programming the NIC to fault (NP-RDMA / ODP model).
+    odp_register_ns: int = 12 * MICROS
+    #: One page-fault event: NIC interrupt + driver fault handler entry.
+    odp_page_fault_base_ns: int = 16 * MICROS
+    #: Per 4 KB page faulted in (pin + translation-table update).
+    odp_page_fault_per_page_ns: int = 500
+
     # ------------------------------------------------ connection management
     cm_resolve_ns: int = 600 * MICROS       #: rdma_cm address+route resolve
     cm_handshake_rtts: int = 3              #: REQ/REP/RTU exchanges
@@ -98,6 +107,19 @@ class SimParams:
         """Cost of registering a memory region of ``length_bytes``."""
         pages = max(1, (length_bytes + 4095) // 4096)
         return self.mr_register_base_ns + pages * self.mr_register_per_page_ns
+
+    def mr_register_batch_ns(self, lengths: "list[int]") -> int:
+        """Cost of one batched registration call: the per-call base (the
+        driver round trip) is paid once; per-page pinning still sums."""
+        if not lengths:
+            return 0
+        pages = sum(max(1, (length + 4095) // 4096) for length in lengths)
+        return self.mr_register_base_ns + pages * self.mr_register_per_page_ns
+
+    def odp_page_fault_ns(self, pages: int) -> int:
+        """Cost of faulting ``pages`` residency in (no-pin mode)."""
+        return (self.odp_page_fault_base_ns
+                + pages * self.odp_page_fault_per_page_ns)
 
     def cm_connect_ns(self) -> int:
         """End-to-end rdma_cm establishment cost, excluding QP creation."""

@@ -134,11 +134,14 @@ def analyze(meta: Dict[str, Any], records: List[Dict[str, Any]],
 
     residual_violations = sum(
         1 for record in completed if record.get("residual_ns", 0) != 0)
+    setup_traces = sum(1 for record in records
+                       if record.get("view") == "setup")
     return {
         "summary": {
             "records": len(records),
             "completed": len(completed),
             "incomplete": len(records) - len(completed),
+            "setup_traces": setup_traces,
             "residual_violations": residual_violations,
             "negative_network_clamped": int(
                 meta.get("negative_network_clamped",
@@ -164,7 +167,8 @@ def _render(report: Dict[str, Any]) -> str:
     lines.append("xr-trace summary")
     lines.append(f"  traces      {summary['records']} "
                  f"({summary['completed']} complete, "
-                 f"{summary['incomplete']} incomplete)")
+                 f"{summary['incomplete']} incomplete, "
+                 f"{summary['setup_traces']} setup)")
     lines.append(f"  residual!=0 {summary['residual_violations']}")
     lines.append(f"  neg-network clamped {summary['negative_network_clamped']}"
                  f"   suppressed marks {summary['suppressed_marks']}")

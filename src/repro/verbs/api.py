@@ -13,7 +13,7 @@ cache exists), posting is ~200 ns (why per-message overheads stay small).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.memory.host import AllocMode, HostMemory
 from repro.rnic.cq import CompletionQueue
@@ -71,6 +71,40 @@ class VerbsContext:
             self.mrs_registered += 1
             return mr
         return self._charged(self.params.mr_register_ns(length), effect)
+
+    def reg_mr_batch(self, pd: ProtectionDomain,
+                     regions: List[Tuple[int, int]],
+                     access: AccessFlags = AccessFlags.all_remote()) -> Event:
+        """Register many ``(addr, length)`` regions in one driver call.
+
+        The per-call base cost (the driver round trip) is paid once for
+        the whole batch; per-page pinning still sums — the lazy/batched
+        registration path of the control plane."""
+        def effect() -> List[MemoryRegion]:
+            mrs = []
+            for addr, length in regions:
+                mr = pd.register(addr, length, access)
+                self.nic.mr_table.install(mr)
+                self.mrs_registered += 1
+                mrs.append(mr)
+            return mrs
+        cost = self.params.mr_register_batch_ns(
+            [length for _, length in regions])
+        return self._charged(cost, effect)
+
+    def reg_mr_odp(self, pd: ProtectionDomain, addr: int, length: int,
+                   access: AccessFlags = AccessFlags.all_remote()) -> Event:
+        """Register without pinning (on-demand paging, the NP-RDMA model).
+
+        Registration is cheap — no pages are pinned — but accesses to
+        non-resident pages later pay fault latency (charged by the
+        no-pin MemCache at buffer hand-out)."""
+        def effect() -> MemoryRegion:
+            mr = pd.register(addr, length, access)
+            self.nic.mr_table.install(mr)
+            self.mrs_registered += 1
+            return mr
+        return self._charged(self.params.odp_register_ns, effect)
 
     def dereg_mr(self, pd: ProtectionDomain, mr: MemoryRegion) -> Event:
         def effect() -> None:

@@ -45,7 +45,17 @@ _conn_ids = itertools.count(1)
 
 
 class ConnectError(RuntimeError):
-    """Establishment failed (timeout, rejection, or dead peer)."""
+    """Establishment failed (timeout, rejection, or dead peer).
+
+    ``qp`` is the QP the failed attempt was holding (recycled or freshly
+    created), so the caller can recycle or destroy it instead of leaking
+    it — the connect-storm contract.
+    """
+
+    def __init__(self, message: str,
+                 qp: Optional[QueuePair] = None) -> None:
+        super().__init__(message)
+        self.qp = qp
 
 
 class _CmKind(Enum):
@@ -141,19 +151,26 @@ class CmAgent:
                 qp: Optional[QueuePair] = None,
                 srq: Optional[SharedReceiveQueue] = None,
                 private_data: Optional[dict] = None,
-                timeout_ns: int = 2 * SECONDS):
+                timeout_ns: int = 2 * SECONDS,
+                setup_trace=None):
         """Generator: establish a connection; ``yield from`` it.
 
         ``qp`` may be a recycled RESET-state QP (the QP-cache fast path);
-        otherwise a fresh QP is created at full cost.
+        otherwise a fresh QP is created at full cost.  ``setup_trace`` is
+        an optional XR-Trace :class:`TraceContext`; marks are passive
+        timestamp captures, so tracing stays schedule-neutral.
         """
         yield self.sim.timeout(self.params.cm_resolve_ns)
+        if setup_trace is not None:
+            setup_trace.mark("cm_resolve")
 
         if qp is None:
             qp = yield self.verbs.create_qp(pd, send_cq, recv_cq, srq=srq)
         elif qp.state is not QpState.RESET:
-            raise ConnectError("recycled QP must be in RESET state")
+            raise ConnectError("recycled QP must be in RESET state", qp=qp)
         yield self.verbs.modify_qp(qp, QpState.INIT)
+        if setup_trace is not None:
+            setup_trace.mark("qp_setup")
 
         conn_id = next(_conn_ids)
         reply_ev = self.sim.event(f"cm:rep{conn_id}")
@@ -168,17 +185,22 @@ class CmAgent:
         self._pending.pop(conn_id, None)
         if reply_ev not in result:
             raise ConnectError(
-                f"connect to host {remote_host}:{service_port} timed out")
+                f"connect to host {remote_host}:{service_port} timed out",
+                qp=qp)
         reply: _CmMessage = reply_ev.value
         if reply.kind is _CmKind.REJ:
             raise ConnectError(
-                f"host {remote_host} rejected port {service_port}")
+                f"host {remote_host} rejected port {service_port}", qp=qp)
 
         yield self.sim.timeout(_CM_PROC_NS)       # REP processing
+        if setup_trace is not None:
+            setup_trace.mark("handshake")
         yield self.verbs.modify_qp(qp, QpState.RTR,
                                    remote_host=remote_host,
                                    remote_qpn=reply.qpn)
         yield self.verbs.modify_qp(qp, QpState.RTS)
+        if setup_trace is not None:
+            setup_trace.mark("qp_to_rts")
         self._send(remote_host, _CmMessage(
             kind=_CmKind.RTU, conn_id=conn_id, src_host=self.nic.host_id,
             service_port=service_port, qpn=qp.qpn))

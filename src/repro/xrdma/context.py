@@ -23,6 +23,7 @@ import itertools
 from collections import deque
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.ctrlplane import MrRegCache, QpCache
 from repro.memory.host import AllocMode
 from repro.rnic.qp import QpState
 from repro.rnic.wqe import Completion, Opcode, WorkRequest
@@ -30,12 +31,12 @@ from repro.sim.events import Timeout
 from repro.sim.process import ProcessGenerator
 from repro.sim.resources import Store
 from repro.sim.timeunits import MILLIS, SECONDS
+from repro.verbs.cm import ConnectError
 from repro.xrdma.channel import ChannelState, XrdmaChannel, _WrRoute
 from repro.xrdma.config import XrdmaConfig
 from repro.xrdma.flowctl import WrBudget
 from repro.xrdma.memcache import MemCache
 from repro.xrdma.message import MessageKind, XrdmaMessage
-from repro.xrdma.qpcache import QpCache
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.rnic.nic import Rnic
@@ -79,12 +80,21 @@ class XrdmaContext:
         self.recv_cq = verbs.create_cq(self.config.cq_size)
         self.srq = (verbs.create_srq(self.config.srq_size)
                     if self.config.use_srq else None)
+        self.mr_reg_cache = (
+            MrRegCache(verbs, self.pd,
+                       capacity_bytes=self.config.mr_reg_cache_bytes)
+            if self.config.mr_reg_cache else None)
         self.memcache = MemCache(
             verbs, self.pd, mr_bytes=self.config.memcache_mr_bytes,
             alloc_mode=_ALLOC_MODES[self.config.ibqp_alloc_type],
-            isolated=self.config.memcache_isolated)
-        self.qpcache = QpCache(verbs, self.pd, self.send_cq, self.recv_cq)
+            isolated=self.config.memcache_isolated,
+            mr_cache=self.mr_reg_cache,
+            no_pin=self.config.memcache_no_pin)
+        self.qpcache = QpCache(verbs, self.pd, self.send_cq, self.recv_cq,
+                               capacity=self.config.qp_cache_capacity)
         self.wr_budget = WrBudget(self.config.context_outstanding_wrs)
+        self.connect_failures = 0    #: ConnectError paths (QP recycled)
+        self.drain_timeouts = 0      #: close drains that hit the deadline
 
         self.channels: Dict[int, XrdmaChannel] = {}          # by qpn
         self._wr_routes: Dict[int, Tuple[XrdmaChannel, _WrRoute]] = {}
@@ -121,20 +131,35 @@ class XrdmaContext:
     # ====================================================== connection mgmt
     def connect(self, remote_host: int, service_port: int,
                 timeout_ns: int = 2 * SECONDS) -> ProcessGenerator:
-        """Generator: establish a channel (QP cache fast path when warm)."""
+        """Generator: establish a channel (QP cache fast path when warm).
+
+        Every failure path returns the QP the attempt was holding —
+        recycled *or* freshly created by the CM — to the QP cache, so a
+        connect storm against a dead peer leaks nothing.
+        """
         self.start()
+        setup = (self.tracer.begin_setup(remote_host, service_port)
+                 if self.tracer is not None else None)
         recycled = self.qpcache.get()
-        conn = yield from self.cm.connect(
-            remote_host, service_port, self.pd, self.send_cq, self.recv_cq,
-            qp=recycled, srq=self.srq,
-            private_data={"window": self.config.inflight_depth},
-            timeout_ns=timeout_ns)
+        try:
+            conn = yield from self.cm.connect(
+                remote_host, service_port, self.pd, self.send_cq,
+                self.recv_cq, qp=recycled, srq=self.srq,
+                private_data={"window": self.config.inflight_depth},
+                timeout_ns=timeout_ns, setup_trace=setup)
+        except ConnectError as exc:
+            self.connect_failures += 1
+            if exc.qp is not None:
+                yield from self.qpcache.put(exc.qp)
+            raise
         peer_window = (conn.private_data or {}).get(
             "window", self.config.inflight_depth)
         channel = XrdmaChannel(
             self, conn, min(self.config.inflight_depth, peer_window))
-        yield from self._prime_channel(channel)
+        yield from self._prime_channel(channel, setup)
         self.channels[conn.qp.qpn] = channel
+        if setup is not None:
+            self.tracer.finalize_setup(setup)
         return channel
 
     def listen(self, service_port: int) -> Store:
@@ -160,20 +185,36 @@ class XrdmaContext:
             self.channels[conn.qp.qpn] = channel
             self.accepted.put_nowait(channel)
 
-    def _prime_channel(self, channel: XrdmaChannel) -> ProcessGenerator:
+    def _prime_channel(self, channel: XrdmaChannel,
+                       setup_trace=None) -> ProcessGenerator:
         """Pre-post window-depth receive buffers (the RNR-free invariant).
 
         With an SRQ, buffers are shared and capped at the SRQ depth — this
         is precisely how SRQ re-introduces the RNR risk (Sec. VII-F).
+
+        The ``mr_reg`` setup span closes after the *first* allocation:
+        arena growth (the MR registration) is the only yield inside
+        ``memcache.alloc``, so cold establishment shows the full
+        registration cost there and a warm memory cache shows exactly 0.
+        The alloc/post interleaving below is digest-pinned — marks are
+        timestamps only, never a restructuring.
         """
         recv_bytes = self.config.small_msg_size + 64
         count = channel.window.depth + self.config.prepost_slack
         if self.srq is not None:
             count = min(count, self.srq.depth - len(self.srq))
+        first = True
         for _ in range(count):
             buffer = yield from self.memcache.alloc(recv_bytes)
+            if first and setup_trace is not None:
+                setup_trace.mark("mr_reg")
+            first = False
             channel._recv_buffers.append(buffer)
             yield from self._post_recv(channel, buffer)
+        if setup_trace is not None:
+            if first:           # zero-buffer prime (saturated SRQ)
+                setup_trace.mark("mr_reg")
+            setup_trace.mark("recv_prime")
 
     def _post_recv(self, channel: XrdmaChannel,
                    buffer: "RdmaBuffer") -> ProcessGenerator:
@@ -190,20 +231,37 @@ class XrdmaContext:
 
     def close_channel(self, channel: XrdmaChannel,
                       notify: bool = True) -> ProcessGenerator:
-        """Generator: orderly shutdown — the QP goes back to the cache."""
+        """Generator: orderly shutdown — the QP goes back to the cache.
+
+        The drain is bounded by ``close_drain_timeout_ns``: a wedged QP
+        (stuck WQE, dead peer mid-teardown) escalates to ERROR + destroy
+        instead of spinning the closer forever.
+        """
         if channel.state is not ChannelState.READY:
             return
+        drain_timed_out = False
         if notify:
             yield from channel.send_control(MessageKind.CLOSE)
             # Drain the QP before resetting it, or the CLOSE never leaves.
             qp = channel.qp
+            deadline = self.sim.now + self.config.close_drain_timeout_ns
             while qp.sq or qp.outstanding or qp.current_tx is not None:
+                if self.sim.now >= deadline:
+                    drain_timed_out = True
+                    self.drain_timeouts += 1
+                    break
                 yield self.sim.timeout(10_000)
         channel.state = ChannelState.CLOSED
         self.channels.pop(channel.qp.qpn, None)
         while channel._recv_buffers:
             self.memcache.free(channel._recv_buffers.popleft())
-        if channel.qp.state is not QpState.ERROR:
+        if drain_timed_out:
+            # A QP that would not drain cannot be trusted for reuse:
+            # flush its work through ERROR, then destroy it outright.
+            if channel.qp.state is not QpState.ERROR:
+                yield self.verbs.modify_qp(channel.qp, QpState.ERROR)
+            yield self.verbs.destroy_qp(channel.qp)
+        elif channel.qp.state is not QpState.ERROR:
             yield from self.qpcache.put(channel.qp)
         else:
             yield self.verbs.destroy_qp(channel.qp)
@@ -480,6 +538,15 @@ class XrdmaContext:
             "mr_count": self.memcache.mr_count,
             "qp_cache_size": len(self.qpcache),
             "qp_cache_hits": self.qpcache.hits,
+            "qp_cache_misses": self.qpcache.misses,
+            "qp_cache_recycled": self.qpcache.recycled,
+            "qp_cache_destroyed": self.qpcache.destroyed,
+            "mr_cache_hits": (self.mr_reg_cache.hits
+                              if self.mr_reg_cache is not None else 0),
+            "mr_cache_pinned": (self.mr_reg_cache.pinned_bytes
+                                if self.mr_reg_cache is not None else 0),
+            "connect_failures": self.connect_failures,
+            "drain_timeouts": self.drain_timeouts,
             "incoming_backlog": len(self.incoming.items),
             "slow_polls": len(self.poll_gaps),
         }

@@ -26,6 +26,7 @@ from repro.rnic.mr import AccessFlags, MemoryRegion
 from repro.sim.process import ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ctrlplane.mrcache import MrRegCache
     from repro.rnic.mr import ProtectionDomain
     from repro.verbs.api import VerbsContext
 
@@ -77,6 +78,9 @@ class _Arena:
     def __init__(self, mr: MemoryRegion) -> None:
         self.mr = mr
         self.used_bytes = 0
+        #: no-pin mode only: page indices already faulted resident.
+        #: None (the default, pinned registration) means "all resident".
+        self.resident_pages: Optional[set] = None
         self._buckets: Dict[int, List[int]] = {}
         self._sizes: Dict[int, int] = {}
         self._ends: Dict[int, int] = {}
@@ -214,17 +218,28 @@ class MemCache:
     def __init__(self, verbs: "VerbsContext", pd: "ProtectionDomain",
                  mr_bytes: int = 4 * 1024 * 1024,
                  alloc_mode: AllocMode = AllocMode.ANONYMOUS,
-                 isolated: bool = False) -> None:
+                 isolated: bool = False,
+                 mr_cache: Optional["MrRegCache"] = None,
+                 no_pin: bool = False) -> None:
         self.verbs = verbs
         self.pd = pd
         self.mr_bytes = mr_bytes
         self.alloc_mode = alloc_mode
         self.isolated = isolated
+        #: control-plane registration cache: shrink releases arenas warm
+        #: (still registered) and growth reuses them at zero driver cost.
+        self.mr_cache = mr_cache
+        #: NP-RDMA-style on-demand paging: registration skips pinning,
+        #: first touch of each page pays fault latency at buffer hand-out.
+        self.no_pin = no_pin
         self._arenas: List[_Arena] = []
         self._live: Dict[int, Tuple[_Arena, RdmaBuffer]] = {}
         self._isolated_cursor = _ISOLATED_BASE
         self.grow_count = 0
         self.shrink_count = 0
+        self.cached_grows = 0        #: growths served by the warm MR cache
+        self.page_faults = 0         #: fault events (no-pin mode)
+        self.pages_faulted = 0       #: pages made resident (no-pin mode)
         self.out_of_bound_hits = 0
 
     # ------------------------------------------------------------ accounting
@@ -256,21 +271,33 @@ class MemCache:
         for arena in self._arenas:
             addr = arena.alloc(size)
             if addr is not None:
+                fault_ns = self._fault_in(arena, addr, size)
+                if fault_ns:
+                    yield self.verbs.sim.timeout(fault_ns)
                 return self._make_buffer(arena, addr, size)
         arena = yield from self._grow()
         addr = arena.alloc(size)
         if addr is None:  # pragma: no cover - fresh arena must fit
             raise MemCacheError("fresh arena failed to satisfy allocation")
+        fault_ns = self._fault_in(arena, addr, size)
+        if fault_ns:
+            yield self.verbs.sim.timeout(fault_ns)
         return self._make_buffer(arena, addr, size)
 
     def try_alloc(self, size: int) -> Optional[RdmaBuffer]:
-        """Non-blocking: allocate from existing arenas only."""
+        """Non-blocking: allocate from existing arenas only.
+
+        In no-pin mode the pages are made resident with the fault
+        *counted* but not charged — a non-blocking path cannot inject
+        latency (the generator :meth:`alloc` is the accurate path).
+        """
         if size > self.mr_bytes:
             raise MemCacheError(
                 f"allocation {size} exceeds the arena size {self.mr_bytes}")
         for arena in self._arenas:
             addr = arena.alloc(size)
             if addr is not None:
+                self._fault_in(arena, addr, size)
                 return self._make_buffer(arena, addr, size)
         return None
 
@@ -312,8 +339,13 @@ class MemCache:
         victims = reclaimable[keep_one:] if keep_one else reclaimable
         for arena in victims:
             self._arenas.remove(arena)
-            self.verbs.nic.mr_table.remove(arena.mr)
-            self.pd.deregister(arena.mr)
+            if self.mr_cache is not None:
+                # Lazy deregistration: the MR stays warm (registered and
+                # pinned) in the cache; a later growth reuses it free.
+                self.mr_cache.release(arena.mr)
+            else:
+                self.verbs.nic.mr_table.remove(arena.mr)
+                self.pd.deregister(arena.mr)
             self.shrink_count += 1
         return len(victims)
 
@@ -324,6 +356,18 @@ class MemCache:
 
     # -------------------------------------------------------------- internal
     def _grow(self) -> ProcessGenerator:
+        if self.mr_cache is not None:
+            mr = self.mr_cache.lookup(self.mr_bytes)
+            if mr is not None:
+                # Warm hit: the MR (and its backing memory) is still
+                # registered — no driver call, no sim time.  Its pages are
+                # resident from the previous life, so even no-pin mode
+                # treats a cached arena as fully faulted in.
+                arena = _Arena(mr)
+                self._arenas.append(arena)
+                self.grow_count += 1
+                self.cached_grows += 1
+                return arena
         if self.isolated:
             base = self._isolated_cursor
             self._isolated_cursor += self.mr_bytes * 2  # guard gap between MRs
@@ -332,12 +376,34 @@ class MemCache:
             allocation = self.verbs.memory.alloc(self.mr_bytes,
                                                  self.alloc_mode)
             addr = allocation.addr
-        mr = yield self.verbs.reg_mr(self.pd, addr, self.mr_bytes,
-                                     AccessFlags.all_remote())
+        if self.no_pin:
+            mr = yield self.verbs.reg_mr_odp(self.pd, addr, self.mr_bytes,
+                                             AccessFlags.all_remote())
+        else:
+            mr = yield self.verbs.reg_mr(self.pd, addr, self.mr_bytes,
+                                         AccessFlags.all_remote())
         arena = _Arena(mr)
+        if self.no_pin:
+            arena.resident_pages = set()
         self._arenas.append(arena)
         self.grow_count += 1
         return arena
+
+    def _fault_in(self, arena: _Arena, addr: int, size: int) -> int:
+        """No-pin mode: make ``[addr, addr+size)`` resident; returns the
+        fault latency to charge (0 when already resident or pinned)."""
+        if arena.resident_pages is None:
+            return 0
+        first = (addr - arena.mr.addr) // 4096
+        last = (addr + size - 1 - arena.mr.addr) // 4096
+        new_pages = [page for page in range(first, last + 1)
+                     if page not in arena.resident_pages]
+        if not new_pages:
+            return 0
+        arena.resident_pages.update(new_pages)
+        self.page_faults += 1
+        self.pages_faulted += len(new_pages)
+        return self.verbs.params.odp_page_fault_ns(len(new_pages))
 
     def _make_buffer(self, arena: _Arena, addr: int, size: int) -> RdmaBuffer:
         buffer = RdmaBuffer(addr=addr, size=size, mr=arena.mr)

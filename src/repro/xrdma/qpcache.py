@@ -1,69 +1,11 @@
-"""The QP cache (Sec. IV-E).
+"""Compatibility shim: the QP cache moved to :mod:`repro.ctrlplane`.
 
-Creating a QP costs ~1 ms of driver/firmware work; destroying one wastes
-that investment.  X-RDMA instead moves dead QPs to RESET and keeps them in
-a per-context pool; establishment reuses them, cutting per-connection setup
-from ≈3.9 ms to ≈2.5 ms (Sec. VII-C).
+The control plane (QP cache, MR registration cache, no-pin mode) now
+lives in its own package; import :class:`QpCache` from
+``repro.ctrlplane`` in new code.  This module keeps the historical
+``repro.xrdma.qpcache`` import path working.
 """
 
-from __future__ import annotations
+from repro.ctrlplane.qpcache import QpCache
 
-from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional
-
-from repro.rnic.qp import QpState, QueuePair
-from repro.sim.process import ProcessGenerator
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.rnic.cq import CompletionQueue
-    from repro.rnic.mr import ProtectionDomain
-    from repro.verbs.api import VerbsContext
-
-
-class QpCache:
-    """Pool of RESET-state QPs ready for reuse."""
-
-    def __init__(self, verbs: "VerbsContext", pd: "ProtectionDomain",
-                 send_cq: "CompletionQueue", recv_cq: "CompletionQueue",
-                 capacity: int = 64) -> None:
-        if capacity < 0:
-            raise ValueError(f"negative capacity: {capacity}")
-        self.verbs = verbs
-        self.pd = pd
-        self.send_cq = send_cq
-        self.recv_cq = recv_cq
-        self.capacity = capacity
-        self._pool: Deque[QueuePair] = deque()
-        self.hits = 0
-        self.misses = 0
-        self.recycled = 0
-
-    def __len__(self) -> int:
-        return len(self._pool)
-
-    def get(self) -> Optional[QueuePair]:
-        """A recycled RESET QP, or None (caller creates one at full cost)."""
-        if self._pool:
-            self.hits += 1
-            return self._pool.popleft()
-        self.misses += 1
-        return None
-
-    def put(self, qp: QueuePair) -> ProcessGenerator:
-        """Generator: recycle a QP — reset it and pool it (or destroy it
-        when the pool is full).  ``yield from`` inside a sim process."""
-        if len(self._pool) >= self.capacity:
-            yield self.verbs.destroy_qp(qp)
-            return
-        yield self.verbs.modify_qp(qp, QpState.RESET)
-        self._pool.append(qp)
-        self.recycled += 1
-
-    def prewarm(self, count: int) -> ProcessGenerator:
-        """Generator: pre-create ``count`` QPs at startup (amortized cost)."""
-        for _ in range(count):
-            if len(self._pool) >= self.capacity:
-                break
-            qp = yield self.verbs.create_qp(self.pd, self.send_cq,
-                                            self.recv_cq)
-            self._pool.append(qp)
+__all__ = ["QpCache"]

@@ -1,0 +1,115 @@
+"""Control-plane storm: QP-cache accounting, zero leaks, drain deadline.
+
+A connect storm against a live and a dead port must leave *exact* cache
+accounting (one ``get`` per attempt, every failure's QP recycled) and —
+the hard part — zero leaked QPs: after orderly close, the NIC's QP table
+must hold exactly the cache pool, on both ends.  A wedged QP at close
+must escalate through the drain deadline to ERROR + destroy instead of
+spinning the closer forever or poisoning the cache.
+"""
+
+from repro.rnic import QpState
+from repro.sim import MILLIS, SECONDS
+from repro.verbs.cm import ConnectError
+from repro.xrdma import XrdmaConfig
+from tests.conftest import run_process
+from tests.scenarios.conftest import assert_quiescent, close_channels, settle
+from tests.xrdma.conftest import connect_pair, make_context
+
+
+def _census(host, ctx):
+    """(NIC-registered QPNs, cache-pool QPNs) for a context's host."""
+    return set(host.nic.qps), {qp.qpn for qp in ctx.qpcache._pool}
+
+
+def test_storm_exact_accounting_and_zero_leaked_qps(cluster):
+    client = make_context(cluster, 0, XrdmaConfig(qp_cache_capacity=8))
+    server = make_context(cluster, 1, XrdmaConfig(qp_cache_capacity=8))
+    accepted = server.listen(9500)
+
+    attempts = 12
+
+    def storm():
+        channels = []
+        failures = 0
+        for i in range(attempts):
+            if i % 4 == 3:            # nobody listens on this port
+                try:
+                    yield from client.connect(1, 9999, timeout_ns=5 * MILLIS)
+                except ConnectError:
+                    failures += 1
+            else:
+                channels.append((yield from client.connect(1, 9500)))
+        return channels, failures
+
+    channels, failures = run_process(cluster, storm(), limit=60 * SECONDS)
+    assert failures == 3
+    assert len(channels) == 9
+    for _ in channels:
+        accepted.get_nowait()
+
+    # Exact cache-counter accounting: every attempt made one get(), every
+    # failure recycled its QP (so post-failure attempts hit the pool).
+    cache = client.qpcache
+    assert cache.hits + cache.misses == attempts
+    assert client.connect_failures == 3
+    assert cache.puts == failures
+    assert cache.puts == cache.recycled + cache.destroyed
+    assert cache.recycled == 3        # pool never full mid-storm
+
+    close_channels(cluster, client)
+    settle(cluster)
+
+    # Zero leaked QPs at quiescence: the NIC QP table is exactly the
+    # cache pool — on both ends (the server recycled via CLOSE notify).
+    assert cache.puts == cache.recycled + cache.destroyed == failures + 9
+    for host_id, ctx in ((0, client), (1, server)):
+        nic_qpns, pool_qpns = _census(cluster.host(host_id), ctx)
+        assert nic_qpns == pool_qpns, f"{ctx.name}: leaked QPs"
+        assert len(pool_qpns) <= ctx.qpcache.capacity
+    assert_quiescent(client, server)
+
+
+def test_close_drain_deadline_escalates_to_destroy(cluster):
+    config = XrdmaConfig(close_drain_timeout_ns=2 * MILLIS)
+    client, server, client_ch, _ = connect_pair(
+        cluster, port=9501, client_config=config)
+    qpn = client_ch.qp.qpn
+
+    def wedge_and_close():
+        # Wedge the QP: the NIC will not transmit until far in the
+        # future, so the posted send (and the CLOSE control) never drain.
+        client_ch.qp.tx_blocked_until = cluster.sim.now + 10 * SECONDS
+        client.send_msg(client_ch, 1024)
+        before = cluster.sim.now
+        yield from client.close_channel(client_ch)
+        return cluster.sim.now - before
+
+    elapsed = run_process(cluster, wedge_and_close(), limit=30 * SECONDS)
+
+    # The drain gave up at the deadline (bounded, not 10 s of spinning)…
+    assert client.drain_timeouts == 1
+    assert elapsed < SECONDS
+    # …and the wedged QP was flushed through ERROR and destroyed — it
+    # must be neither NIC-registered nor pooled for reuse.
+    assert client_ch.qp.state is QpState.ERROR
+    assert qpn not in cluster.host(0).nic.qps
+    assert all(qp.qpn != qpn for qp in client.qpcache._pool)
+    assert client.qpcache.recycled == 0
+
+
+def test_clean_close_still_recycles(cluster):
+    config = XrdmaConfig(close_drain_timeout_ns=2 * MILLIS)
+    client, server, client_ch, _ = connect_pair(
+        cluster, port=9502, client_config=config)
+    qpn = client_ch.qp.qpn
+
+    def close():
+        yield from client.close_channel(client_ch)
+
+    run_process(cluster, close(), limit=30 * SECONDS)
+    # Regression guard for the deadline fix: an idle QP drains instantly
+    # and still lands back in the cache.
+    assert client.drain_timeouts == 0
+    assert qpn in cluster.host(0).nic.qps
+    assert any(qp.qpn == qpn for qp in client.qpcache._pool)

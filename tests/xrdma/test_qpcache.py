@@ -1,8 +1,9 @@
-"""QP cache: recycling, hit accounting, capacity."""
+"""QP cache: recycling, hit accounting, capacity, concurrent churn."""
 
 import pytest
 
 from repro.rnic import QpState
+from repro.sim import MILLIS
 from repro.xrdma import QpCache
 from tests.conftest import run_process
 
@@ -96,3 +97,87 @@ def test_fifo_recycling_order(setup):
     run_process(cluster, recycle())
     assert cache.get() is qp_a
     assert cache.get() is qp_b
+
+
+# ------------------------------------------------------- concurrent churn
+#
+# put/prewarm yield verbs calls, so sim time passes between a capacity
+# check and the corresponding append.  These tests race many recyclers
+# for the last pool slots; the re-check-after-yield fix must hold the
+# `len(pool) <= capacity` invariant (fatal under tests) while keeping
+# exact counter accounting and destroying every overshoot QP at the NIC.
+
+def _settle(cluster, ns=10 * MILLIS):
+    def sleeper():
+        yield cluster.sim.timeout(ns)
+    run_process(cluster, sleeper())
+
+
+def _nic_census(host, cache):
+    """NIC-registered QPNs vs the cache pool (all QPs belong to the cache)."""
+    return set(host.nic.qps), {qp.qpn for qp in cache._pool}
+
+
+def test_concurrent_puts_never_overshoot(setup):
+    cluster, host, cache = setup
+    qps = [_create_qp(cluster, host, cache) for _ in range(6)]
+
+    def put_one(qp):
+        yield from cache.put(qp)
+
+    for qp in qps:
+        cluster.sim.spawn(put_one(qp))
+    _settle(cluster)
+
+    assert len(cache) == 2
+    assert cache.puts == 6
+    assert cache.puts == cache.recycled + cache.destroyed
+    assert cache.recycled == 2
+    assert cache.destroyed == 4
+    # Every overshoot QP was destroyed at the NIC; the pool is exactly
+    # what remains registered.
+    nic_qpns, pool_qpns = _nic_census(host, cache)
+    assert nic_qpns == pool_qpns
+
+
+def test_concurrent_prewarm_respects_capacity(setup):
+    cluster, host, cache = setup
+
+    def warm():
+        yield from cache.prewarm(3)
+
+    cluster.sim.spawn(warm())
+    cluster.sim.spawn(warm())
+    _settle(cluster)
+
+    assert len(cache) == 2
+    # Prewarm overshoot (a create that raced for the last slot) is
+    # destroyed, never leaked: created == pooled + destroyed.
+    assert host.verbs.qps_created == len(cache) + cache.destroyed
+    nic_qpns, pool_qpns = _nic_census(host, cache)
+    assert nic_qpns == pool_qpns
+
+
+def test_concurrent_put_prewarm_churn(setup):
+    cluster, host, cache = setup
+    qps = [_create_qp(cluster, host, cache) for _ in range(3)]
+
+    def put_one(qp):
+        yield from cache.put(qp)
+
+    def warm():
+        yield from cache.prewarm(3)
+
+    for qp in qps:
+        cluster.sim.spawn(put_one(qp))
+    cluster.sim.spawn(warm())
+    _settle(cluster)
+
+    assert len(cache) == 2
+    assert cache.puts == 3
+    # `destroyed` is shared between put overshoot and prewarm overshoot,
+    # so the conservation law is NIC-level: every QP ever created is now
+    # either pooled or destroyed.
+    assert host.verbs.qps_created == len(cache) + cache.destroyed
+    nic_qpns, pool_qpns = _nic_census(host, cache)
+    assert nic_qpns == pool_qpns
