@@ -10,7 +10,7 @@ sequence)`` tie-break — and on paired resource lifecycles (every
 property is enforced by Python itself, so xr-lint enforces them over the
 AST.
 
-Three rule families:
+Four rule families (plus the XR001 suppression audit):
 
 * **determinism** — no wall-clock reads, no module-global RNG state, no
   iteration ordered by object identity or ``hash()``.
@@ -19,6 +19,11 @@ Three rule families:
 * **sim hygiene** — no blocking calls inside processes, every process
   yields real simulator events, no handler broad enough to swallow
   :class:`~repro.sim.engine.SimulationError`.
+* **flow/interprocedural (XR4xx)** — yield-point races over the
+  generator CFG and project call graph (:mod:`.flow`,
+  :mod:`.callgraph`): stale guards across yields, resource escapes on
+  handled-exception edges, unbounded yield loops, yields inside
+  invariant-critical sections.
 
 Suppress a finding with a trailing ``# xr-lint: disable=<rule>[,<rule>]``
 comment on the offending line, or ``# xr-lint: disable-file=<rule>`` on a
@@ -26,16 +31,18 @@ line of its own for whole-file scope.  CLI: ``python -m
 repro.tools.xr_lint``.
 """
 
+from repro.analysis.lint.callgraph import CallGraph
 from repro.analysis.lint.core import (Finding, LintRunner, Rule,
                                       all_rules, get_rule, register)
-from repro.analysis.lint.reporter import render_json, render_text
+from repro.analysis.lint.reporter import render_gh, render_json, render_text
 
 # Importing the rule modules populates the registry.
 from repro.analysis.lint import rules_determinism  # noqa: F401,E402
 from repro.analysis.lint import rules_resources    # noqa: F401,E402
 from repro.analysis.lint import rules_sim          # noqa: F401,E402
+from repro.analysis.lint import rules_flow         # noqa: F401,E402
 
 __all__ = [
-    "Finding", "LintRunner", "Rule", "all_rules", "get_rule", "register",
-    "render_json", "render_text",
+    "CallGraph", "Finding", "LintRunner", "Rule", "all_rules", "get_rule",
+    "register", "render_gh", "render_json", "render_text",
 ]

@@ -1,4 +1,5 @@
-"""Finding renderers: terminal text and machine-readable JSON."""
+"""Finding renderers: terminal text, machine-readable JSON, and GitHub
+workflow annotations."""
 
 from __future__ import annotations
 
@@ -47,3 +48,30 @@ def render_json(findings: Sequence[Finding],
         "total": len(findings),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _gh_escape(text: str, in_property: bool = False) -> str:
+    """Escape data for GitHub workflow commands (their own %-encoding)."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if in_property:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+def render_gh(findings: Sequence[Finding],
+              errors: Iterable[str] = ()) -> str:
+    """GitHub Actions annotations: one ``::error`` workflow command per
+    finding, so findings surface inline on the PR diff."""
+    lines: List[str] = []
+    for finding in findings:
+        title = _gh_escape(f"{finding.code}[{finding.rule}]",
+                           in_property=True)
+        lines.append(
+            f"::error file={_gh_escape(finding.path, in_property=True)},"
+            f"line={finding.line},col={finding.col + 1},title={title}"
+            f"::{_gh_escape(finding.message)}")
+    for error in errors:
+        lines.append(f"::error title=xr-lint::{_gh_escape(error)}")
+    if not lines:
+        return "xr-lint: clean"
+    return "\n".join(lines)

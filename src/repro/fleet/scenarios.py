@@ -137,7 +137,12 @@ def window_throughput(ctx: RunContext) -> Dict[str, Any]:
         channel = yield from client.connect(1, 8660)
         for _ in range(n_messages):
             client.send_msg(channel, size)
+        # Bounded drain (the close-drain doctrine): a dropped message must
+        # end the scenario with a short count, not wedge it forever.
+        deadline = sim.now + 60 * SECONDS
         while len(received) < n_messages:
+            if sim.now >= deadline:
+                break
             yield sim.timeout(50 * MICROS)
 
     proc = sim.spawn(producer())

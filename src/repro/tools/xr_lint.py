@@ -5,24 +5,29 @@ Usage::
     python -m repro.tools.xr_lint                 # src tests benchmarks examples
     python -m repro.tools.xr_lint src/repro/xrdma
     python -m repro.tools.xr_lint --format json src
+    python -m repro.tools.xr_lint --format gh --json findings.json src
     python -m repro.tools.xr_lint --list-rules
     python -m repro.tools.xr_lint --select memcache-leak,qp-leak src
 
-Exit status: 0 clean, 1 findings, 2 usage/parse errors — the same
-convention the self-check test and the CI job rely on.
+Exit status: 0 clean, 1 findings, 2 usage/parse errors (including
+nonexistent paths) — the same convention the self-check test and the CI
+job rely on.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.lint import (LintRunner, all_rules, render_json,
-                                 render_text)
+from repro.analysis.lint import (LintRunner, all_rules, render_gh,
+                                 render_json, render_text)
 
 #: default trees, matching the tier-1 self-check gate
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+_RENDERERS = {"text": render_text, "json": render_json, "gh": render_gh}
 
 
 def _split_csv(raw: Optional[str]) -> Optional[List[str]]:
@@ -35,16 +40,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.xr_lint",
         description="Project-specific static analysis: determinism, "
-                    "resource pairing, sim hygiene.")
+                    "resource pairing, sim hygiene, yield-point races.")
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files or directories to lint "
                              f"(default: {' '.join(DEFAULT_PATHS)})")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "gh"),
+                        default="text",
+                        help="report format; 'gh' emits GitHub Actions "
+                             "::error annotations (default: text)")
+    parser.add_argument("--json", metavar="FILE", dest="json_file",
+                        help="additionally write the JSON report to FILE "
+                             "(CI artifact), whatever --format says")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule names to run exclusively")
     parser.add_argument("--ignore", metavar="RULES",
                         help="comma-separated rule names to skip")
+    parser.add_argument("--check-suppressions", dest="check_suppressions",
+                        action="store_true", default=True,
+                        help="report stale `# xr-lint: disable=` comments "
+                             "that suppress nothing (default: on)")
+    parser.add_argument("--no-check-suppressions", dest="check_suppressions",
+                        action="store_false",
+                        help="skip the stale-suppression audit")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -54,7 +71,7 @@ def list_rules() -> str:
     lines = ["xr-lint rule catalogue "
              "(suppress: # xr-lint: disable=<name>):"]
     for cls in all_rules():
-        lines.append(f"  {cls.code}  {cls.name:<16} {cls.summary}")
+        lines.append(f"  {cls.code}  {cls.name:<26} {cls.summary}")
     return "\n".join(lines)
 
 
@@ -63,15 +80,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(list_rules())
         return 0
+    missing = [raw for raw in args.paths if not Path(raw).exists()]
+    if missing:
+        for raw in missing:
+            print(f"xr-lint: error: {raw}: no such file or directory",
+                  file=sys.stderr)
+        return 2
     try:
         runner = LintRunner(select=_split_csv(args.select),
-                            ignore=_split_csv(args.ignore))
+                            ignore=_split_csv(args.ignore),
+                            check_suppressions=args.check_suppressions)
     except KeyError as exc:
         print(f"xr-lint: {exc.args[0]}", file=sys.stderr)
         return 2
     findings = runner.run_paths(args.paths)
-    render = render_json if args.format == "json" else render_text
-    print(render(findings, runner.errors))
+    if args.json_file:
+        try:
+            Path(args.json_file).write_text(
+                render_json(findings, runner.errors) + "\n",
+                encoding="utf-8")
+        except OSError as exc:
+            print(f"xr-lint: error: cannot write {args.json_file}: {exc}",
+                  file=sys.stderr)
+            return 2
+    print(_RENDERERS[args.format](findings, runner.errors))
     if runner.errors:
         return 2
     return 1 if findings else 0

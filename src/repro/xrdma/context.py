@@ -251,6 +251,11 @@ class XrdmaContext:
                     self.drain_timeouts += 1
                     break
                 yield self.sim.timeout(10_000)
+        if channel.state is not ChannelState.READY:
+            # A concurrent closer (or on_channel_broken) won the race while
+            # this process was suspended in the drain — without this
+            # re-check both closers would recycle the same QP.
+            return
         channel.state = ChannelState.CLOSED
         self.channels.pop(channel.qp.qpn, None)
         while channel._recv_buffers:

@@ -1,0 +1,31 @@
+"""XR401 negative fixture: QpCache.put/prewarm AFTER the PR 6 fix
+(commit 7a5b6f9) — the guard is re-evaluated after the last yield, so the
+append runs against fresh state and the rule stays silent.
+"""
+
+
+class QpCache:
+    def put(self, qp):
+        if len(self._pool) >= self.capacity:
+            yield self.verbs.destroy_qp(qp)
+            return
+        yield self.verbs.modify_qp(qp, QpState.RESET)
+        if len(self._pool) >= self.capacity:
+            # Re-check: a concurrent recycler may have filled the pool
+            # while this process was suspended in modify_qp.
+            self.destroyed += 1
+            yield self.verbs.destroy_qp(qp)
+            return
+        self._pool.append(qp)
+        self.recycled += 1
+
+    def prewarm(self, count):
+        for _ in range(count):
+            if len(self._pool) >= self.capacity:
+                break
+            qp = yield self.verbs.create_qp(self.pd, self.send_cq,
+                                            self.recv_cq)
+            if len(self._pool) >= self.capacity:
+                yield self.verbs.destroy_qp(qp)
+                break
+            self._pool.append(qp)

@@ -1,0 +1,26 @@
+"""XR401 positive fixture: QpCache.put/prewarm as they stood BEFORE the
+PR 6 fix (commit 7a5b6f9^) — the real check-yield-append race.
+
+Both methods read the capacity guard, suspend at a verbs yield (the whole
+simulation runs while suspended, including other recyclers), then append
+to the pool trusting the stale guard.  Two processes interleaving here
+overfill the pool past ``capacity``.
+"""
+
+
+class QpCache:
+    def put(self, qp):
+        if len(self._pool) >= self.capacity:
+            yield self.verbs.destroy_qp(qp)
+            return
+        yield self.verbs.modify_qp(qp, QpState.RESET)
+        self._pool.append(qp)                           # XR401: stale guard
+        self.recycled += 1
+
+    def prewarm(self, count):
+        for _ in range(count):
+            if len(self._pool) >= self.capacity:
+                break
+            qp = yield self.verbs.create_qp(self.pd, self.send_cq,
+                                            self.recv_cq)
+            self._pool.append(qp)                       # XR401: stale guard

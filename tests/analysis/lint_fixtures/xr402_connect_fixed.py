@@ -1,0 +1,47 @@
+"""XR402 negative fixture: XrdmaContext.connect AFTER the PR 6 fix — the
+``ConnectError`` edge is compensated by an except handler that returns the
+QP to the cache, so the acquisition is protected and the rule is silent.
+"""
+
+
+class ConnectError(Exception):
+    def __init__(self, message, qp=None):
+        super().__init__(message)
+        self.qp = qp
+
+
+class CmAgent:
+    def connect(self, host, port, pd, send_cq, recv_cq, qp=None,
+                timeout_ns=0):
+        if qp is None:
+            qp = yield self.verbs.create_qp(pd, send_cq, recv_cq)
+        ok = yield self.net.dial(host, port, timeout_ns)
+        if not ok:
+            raise ConnectError("dial timed out", qp=qp)
+        return qp
+
+
+class Context:
+    def connect(self, remote_host, service_port, timeout_ns=0):
+        recycled = self.qpcache.get()
+        try:
+            conn = yield from self.cm.connect(
+                remote_host, service_port, self.pd,
+                self.send_cq, self.recv_cq, qp=recycled,
+                timeout_ns=timeout_ns)
+        except ConnectError as exc:
+            # The QP rides the exception back; recycle it before
+            # re-raising so a failed dial never leaks.
+            if exc.qp is not None:
+                yield from self.qpcache.put(exc.qp)
+            raise
+        return conn
+
+
+def retry_dial(ctx, host, port):
+    for _ in range(3):
+        try:
+            return (yield from ctx.connect(host, port))
+        except ConnectError:
+            continue
+    return None

@@ -1,0 +1,47 @@
+"""XR402 positive fixture: XrdmaContext.connect BEFORE the PR 6 fix —
+the real QP-leak-on-ConnectError edge.
+
+``Context.connect`` pulls a recycled QP from the cache and hands it to
+``CmAgent.connect`` via ``yield from``.  The agent raises ``ConnectError``
+on timeout — an exception this very file demonstrably catches
+(``retry_dial``) — and nothing on that edge releases the recycled QP:
+every failed connect orphans one.  The agent itself is clean: its raises
+attach the QP to the exception (``ConnectError(..., qp=qp)``), which is
+the escape-via-exception idiom XR402 recognizes.
+"""
+
+
+class ConnectError(Exception):
+    def __init__(self, message, qp=None):
+        super().__init__(message)
+        self.qp = qp
+
+
+class CmAgent:
+    def connect(self, host, port, pd, send_cq, recv_cq, qp=None,
+                timeout_ns=0):
+        if qp is None:
+            qp = yield self.verbs.create_qp(pd, send_cq, recv_cq)
+        ok = yield self.net.dial(host, port, timeout_ns)
+        if not ok:
+            raise ConnectError("dial timed out", qp=qp)
+        return qp
+
+
+class Context:
+    def connect(self, remote_host, service_port, timeout_ns=0):
+        recycled = self.qpcache.get()
+        conn = yield from self.cm.connect(           # XR402: ConnectError
+            remote_host, service_port, self.pd,      # edge drops `recycled`
+            self.send_cq, self.recv_cq, qp=recycled,
+            timeout_ns=timeout_ns)
+        return conn
+
+
+def retry_dial(ctx, host, port):
+    for _ in range(3):
+        try:
+            return (yield from ctx.connect(host, port))
+        except ConnectError:
+            continue
+    return None

@@ -1,0 +1,18 @@
+"""XR403 negative fixture: the close-drain wait AFTER the PR 6 fix —
+bounded by a deadline, so the loop has an explicit exit edge and the rule
+stays silent.
+"""
+
+SECONDS = 1_000_000_000
+
+
+class Context:
+    def close_channel(self, channel):
+        qp = channel.qp
+        deadline = self.sim.now + 5 * SECONDS
+        while qp.sq or qp.outstanding or qp.current_tx is not None:
+            if self.sim.now >= deadline:
+                break
+            yield self.sim.timeout(10_000)
+        yield from self.qpcache.put(qp)
+        channel.state = ChannelState.CLOSED

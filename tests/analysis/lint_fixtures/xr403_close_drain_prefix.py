@@ -1,0 +1,16 @@
+"""XR403 positive fixture: the unbounded close-drain wait as it stood
+BEFORE the PR 6 fix.
+
+``close_channel`` spins on the send-queue state with no deadline, no
+break, and no statement in the loop body that moves the tested state
+forward — if the peer dies mid-drain the closer waits forever.
+"""
+
+
+class Context:
+    def close_channel(self, channel):
+        qp = channel.qp
+        while qp.sq or qp.outstanding or qp.current_tx is not None:
+            yield self.sim.timeout(10_000)              # XR403: no exit edge
+        yield from self.qpcache.put(qp)
+        channel.state = ChannelState.CLOSED

@@ -1,0 +1,22 @@
+"""XR404 negative fixtures: invariant-preserving shapes the rule must
+stay silent on.
+
+``migrate_in`` performs the paired transfer atomically (no yield between
+the two halves); ``send`` uses the in-flight idiom — the +=/-= pair
+touches the *same* counter, which is the sanctioned way to account for
+work spanning a suspension.
+"""
+
+
+class PageTracker:
+    def migrate_in(self, pages):
+        yield self.sim.timeout(self.copy_ns * pages)
+        self.resident_pages += pages
+        self.free_pages -= pages
+
+
+class Channel:
+    def send(self, msg):
+        self.in_flight += 1
+        yield self.net.transmit(msg)
+        self.in_flight -= 1

@@ -1,0 +1,16 @@
+"""XR404 positive fixture: a two-sided accounting transfer torn by a
+yield.
+
+``migrate_in`` credits ``resident_pages`` before the copy and debits
+``free_pages`` after it — the invariant ``resident + free == total``
+is broken for the whole duration of the suspended copy, and any process
+scheduled at that yield observes (and may act on) the inconsistent
+counters.
+"""
+
+
+class PageTracker:
+    def migrate_in(self, pages):
+        self.resident_pages += pages
+        yield self.sim.timeout(self.copy_ns * pages)    # XR404: torn update
+        self.free_pages -= pages

@@ -1,0 +1,224 @@
+"""XR4xx interprocedural rules against the PR 6 defect fixtures.
+
+The positive fixtures under ``lint_fixtures/`` reconstruct the three real
+defects fixed in commit 7a5b6f9 (stale-guard QpCache race, QP leak on the
+ConnectError edge, unbounded close-drain) plus the torn-invariant shape;
+the negative fixtures are the post-fix versions.  Each rule is run alone
+via ``run_source`` with a non-harness path so the ``tests/`` exemptions
+don't mask the leak rules.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import CallGraph, LintRunner
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def lint_fixture(name, rule):
+    source = (FIXTURES / name).read_text()
+    runner = LintRunner(select=[rule])
+    findings = runner.run_source(source, "fixture.py")
+    assert not runner.errors, runner.errors
+    return findings
+
+
+def lint(source, rule):
+    runner = LintRunner(select=[rule])
+    findings = runner.run_source(textwrap.dedent(source), "fixture.py")
+    assert not runner.errors, runner.errors
+    return findings
+
+
+# ---------------------------------------------------------------- XR401
+def test_xr401_fires_on_prefix_qpcache_race():
+    findings = lint_fixture("xr401_qpcache_prefix.py", "stale-guard")
+    assert [f.code for f in findings] == ["XR401", "XR401"]
+    # One hit per racy method: put's append and prewarm's append.
+    assert {f.line for f in findings} == {17, 26}
+    assert "yield" in findings[0].message
+
+
+def test_xr401_silent_on_fixed_qpcache():
+    assert lint_fixture("xr401_qpcache_fixed.py", "stale-guard") == []
+
+
+def test_xr401_recheck_must_match_the_guard_fingerprint():
+    # Re-checking an unrelated condition does not refresh the guard.
+    findings = lint("""
+        class QpCache:
+            def put(self, qp):
+                if len(self._pool) >= self.capacity:
+                    return
+                yield self.verbs.modify_qp(qp)
+                if self.closed:
+                    return
+                self._pool.append(qp)
+        """, rule="stale-guard")
+    assert [f.code for f in findings] == ["XR401"]
+
+
+# ---------------------------------------------------------------- XR402
+def test_xr402_fires_on_prefix_connect_leak():
+    findings = lint_fixture("xr402_connect_prefix.py",
+                            "exception-edge-leak")
+    assert [f.code for f in findings] == ["XR402"]
+    # Flagged at the unprotected yield-from in Context.connect — not in
+    # CmAgent.connect, whose raises escape the QP via the exception arg.
+    assert findings[0].line == 34
+    assert "recycled" in findings[0].message
+
+
+def test_xr402_silent_on_fixed_connect():
+    assert lint_fixture("xr402_connect_fixed.py",
+                        "exception-edge-leak") == []
+
+
+def test_xr402_needs_a_catcher_to_call_the_edge_handled(tmp_path):
+    # The raiser lives in one module, the catcher in another: only the
+    # project-wide call graph (run_paths) can join them.
+    (tmp_path / "agent.py").write_text(textwrap.dedent("""
+        class DialError(Exception):
+            pass
+
+        def dial(host):
+            ok = yield host.ping()
+            if not ok:
+                raise DialError(host)
+            return ok
+
+        def attach(self, host):
+            qp = self.verbs.create_qp(self.pd)
+            yield from dial(host)
+            self.qps.append(qp)
+        """))
+    catcher = tmp_path / "retry.py"
+    catcher.write_text(textwrap.dedent("""
+        def retry(hosts):
+            for host in hosts:
+                try:
+                    yield from dial(host)
+                except DialError:
+                    continue
+        """))
+
+    solo = LintRunner(select=["exception-edge-leak"])
+    assert solo.run_paths([str(tmp_path / "agent.py")]) == []
+
+    joined = LintRunner(select=["exception-edge-leak"])
+    findings = joined.run_paths([str(tmp_path)])
+    assert [f.code for f in findings] == ["XR402"]
+    assert findings[0].path.endswith("agent.py")
+
+
+def test_xr402_builtin_exceptions_are_not_protocol_edges():
+    # KeyError is caught in-tree constantly; treating it as a handled
+    # protocol edge would flag every assert-style guard.
+    findings = lint("""
+        def lookup(self, key):
+            qp = self.cache.get()
+            yield from self.table.fetch(key)
+            self.qps.append(qp)
+
+        def fetch(self, key):
+            if key not in self.rows:
+                raise KeyError(key)
+            yield self.sim.timeout(10)
+            return self.rows[key]
+
+        def caller(self):
+            try:
+                yield from self.fetch("x")
+            except KeyError:
+                pass
+        """, rule="exception-edge-leak")
+    assert findings == []
+
+
+# ---------------------------------------------------------------- XR403
+def test_xr403_fires_on_prefix_close_drain():
+    findings = lint_fixture("xr403_close_drain_prefix.py",
+                            "unbounded-yield-loop")
+    assert [f.code for f in findings] == ["XR403"]
+    assert findings[0].line == 13  # anchored at the while header
+
+
+def test_xr403_silent_on_fixed_close_drain():
+    assert lint_fixture("xr403_close_drain_fixed.py",
+                        "unbounded-yield-loop") == []
+
+
+def test_xr403_silent_when_loop_makes_progress():
+    findings = lint("""
+        def drain(self, qp):
+            while qp.sq:
+                qp.sq.pop()
+                yield self.sim.timeout(10)
+        """, rule="unbounded-yield-loop")
+    assert findings == []
+
+
+# ---------------------------------------------------------------- XR404
+def test_xr404_fires_on_torn_transfer():
+    findings = lint_fixture("xr404_migrate_prefix.py",
+                            "yield-in-critical-section")
+    assert [f.code for f in findings] == ["XR404"]
+    assert findings[0].line == 15
+
+
+def test_xr404_silent_on_fixed_transfer_and_in_flight_idiom():
+    assert lint_fixture("xr404_migrate_fixed.py",
+                        "yield-in-critical-section") == []
+
+
+# --------------------------------------------------- call-graph precision
+def test_yield_from_of_yield_free_callee_is_not_a_preemption():
+    findings = lint("""
+        class QpCache:
+            def note(self, qp):
+                return []
+
+            def put(self, qp):
+                if len(self._pool) >= self.capacity:
+                    return
+                yield from self.note(qp)
+                self._pool.append(qp)
+        """, rule="stale-guard")
+    assert findings == []
+
+
+def test_yield_from_of_unknown_callee_is_conservatively_preempting():
+    findings = lint("""
+        class QpCache:
+            def put(self, qp):
+                if len(self._pool) >= self.capacity:
+                    return
+                yield from self.audit_hook(qp)
+                self._pool.append(qp)
+        """, rule="stale-guard")
+    assert [f.code for f in findings] == ["XR401"]
+
+
+def test_callgraph_may_preempt_fixpoint_through_delegation():
+    source = textwrap.dedent("""
+        def leaf():
+            yield 1
+
+        def middle():
+            yield from leaf()
+
+        def quiet():
+            return 2
+
+        def relay():
+            yield from quiet()
+        """)
+    import ast
+
+    graph = CallGraph.build([("mod.py", ast.parse(source))])
+    assert graph.may_preempt("leaf")
+    assert graph.may_preempt("middle")
+    assert not graph.may_preempt("quiet")
+    assert not graph.may_preempt("relay")
+    assert graph.may_preempt("never_seen")  # unknown => conservative

@@ -396,6 +396,68 @@ def test_path_exemptions_skip_leak_rules_under_tests():
     assert codes(outside) == ["XR201"]
 
 
+def test_path_exemption_covers_qp_leak_under_tests():
+    src = """
+        def probe(verbs, pd, cq):
+            qp = verbs.create_qp(pd, cq, cq)
+            return qp.qpn
+        """
+    assert "qp-leak" in PATH_RULE_EXEMPTIONS["tests"]
+    inside = lint(src, rule="qp-leak", path="tests/rnic/test_qp.py")
+    outside = lint(src, rule="qp-leak", path="src/repro/rnic/probe.py")
+    assert codes(inside) == []
+    assert codes(outside) == ["XR202"]
+
+
+def test_path_exemption_does_not_cover_unlisted_rules():
+    # The tests/ exemption is surgical: rules outside the listed set
+    # still fire on test code.
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    assert "wall-clock" not in PATH_RULE_EXEMPTIONS["tests"]
+    findings = lint(src, rule="wall-clock", path="tests/util/test_time.py")
+    assert codes(findings) == ["XR101"]
+
+
+def test_path_exemption_covers_exception_edge_leak_in_harness_trees():
+    # A handled-exception edge while holding an allocation: flagged in
+    # src/, exempt under tests/ and benchmarks/ (the harness owns
+    # teardown there).
+    src = """
+        class OutOfMemory(Exception):
+            pass
+
+        def alloc(self, size):
+            raise OutOfMemory(size)
+
+        def retry(memory):
+            try:
+                yield memory.alloc(4096)
+            except OutOfMemory:
+                pass
+
+        def probe(memory):
+            first = memory.alloc(4096)
+            second = yield memory.alloc(8192)
+            return first, second
+        """
+    for tree in ("tests", "benchmarks"):
+        assert "exception-edge-leak" in PATH_RULE_EXEMPTIONS[tree]
+    inside = lint(src, rule="exception-edge-leak",
+                  path="tests/memory/test_alloc.py")
+    bench = lint(src, rule="exception-edge-leak",
+                 path="benchmarks/test_probe.py")
+    outside = lint(src, rule="exception-edge-leak",
+                   path="src/repro/memory/probe.py")
+    assert codes(inside) == []
+    assert codes(bench) == []
+    assert codes(outside) == ["XR402"]
+
+
 def test_select_and_ignore_validate_rule_names():
     with pytest.raises(KeyError, match="unknown rule"):
         LintRunner(select=["no-such-rule"])
@@ -418,14 +480,23 @@ def test_syntax_error_is_reported_not_raised():
     assert "syntax error" in runner.errors[0]
 
 
-def test_registry_covers_all_three_families():
-    by_family = {"XR1": 0, "XR2": 0, "XR3": 0}
+def test_registry_covers_all_families():
+    by_family = {"XR0": 0, "XR1": 0, "XR2": 0, "XR3": 0, "XR4": 0}
     for cls in all_rules():
         by_family[cls.code[:3]] += 1
+    assert by_family["XR0"] >= 1     # suppression audit
     assert by_family["XR1"] >= 4     # determinism
     assert by_family["XR2"] >= 2     # resource pairing
     assert by_family["XR3"] >= 3     # sim hygiene
-    assert sum(by_family.values()) >= 8
+    assert by_family["XR4"] >= 4     # flow/interprocedural
+    assert sum(by_family.values()) >= 13
+
+
+def test_list_rules_shows_xr4_family():
+    from repro.tools.xr_lint import list_rules
+    catalogue = list_rules()
+    for code in ("XR401", "XR402", "XR403", "XR404"):
+        assert code in catalogue
 
 
 def test_get_rule_roundtrip_and_finding_sort():

@@ -1,0 +1,82 @@
+"""xr-lint CLI hardening: argument and I/O failures must exit 2 with a
+one-line diagnostic on stderr — never a traceback, never a silent clean
+report over zero files.
+"""
+
+import json
+
+import pytest
+
+from repro.tools.xr_lint import main
+
+DIRTY = "import time\n\n\ndef f():\n    return time.time()\n"
+
+
+def test_nonexistent_path_exits_2_with_diagnostic(capsys):
+    assert main(["does/not/exist"]) == 2
+    captured = capsys.readouterr()
+    err_lines = captured.err.strip().splitlines()
+    assert err_lines == [
+        "xr-lint: error: does/not/exist: no such file or directory"]
+    assert captured.out == ""  # no misleading "clean" report
+
+
+def test_every_missing_path_is_reported(capsys, tmp_path):
+    real = tmp_path / "ok.py"
+    real.write_text("def ok():\n    return 1\n")
+    assert main([str(real), "ghost_a", "ghost_b"]) == 2
+    err = capsys.readouterr().err
+    assert "ghost_a: no such file or directory" in err
+    assert "ghost_b: no such file or directory" in err
+
+
+def test_unknown_select_rule_exits_2(capsys, tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("def ok():\n    return 1\n")
+    assert main(["--select", "no-such-rule", str(clean)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_unknown_ignore_rule_exits_2(capsys, tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("def ok():\n    return 1\n")
+    assert main(["--ignore", "no-such-rule", str(clean)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_json_artifact_written_alongside_any_format(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    artifact = tmp_path / "findings.json"
+    assert main(["--format", "gh", "--json", str(artifact),
+                 str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")  # gh annotations on stdout
+    payload = json.loads(artifact.read_text())
+    assert payload["total"] == 1
+    assert payload["findings"][0]["code"] == "XR101"
+    assert artifact.read_text().endswith("\n")  # POSIX-friendly artifact
+
+
+def test_unwritable_json_artifact_exits_2(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    target = tmp_path / "no_such_dir" / "findings.json"
+    assert main(["--json", str(target), str(dirty)]) == 2
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_gh_format_clean_tree(capsys, tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("def ok():\n    return 1\n")
+    assert main(["--format", "gh", str(clean)]) == 0
+    assert "xr-lint: clean" in capsys.readouterr().out
+
+
+def test_no_check_suppressions_flag(capsys, tmp_path):
+    stale = tmp_path / "stale.py"
+    stale.write_text("def ok():\n    return 1  # xr-lint: disable=qp-leak\n")
+    assert main([str(stale)]) == 1
+    assert "XR001" in capsys.readouterr().out
+    assert main(["--no-check-suppressions", str(stale)]) == 0
+    assert "xr-lint: clean" in capsys.readouterr().out
