@@ -117,8 +117,45 @@ def _ctrlplane_specs(quick: bool) -> List[ExperimentSpec]:
     ]
 
 
+def _cluster_specs(quick: bool) -> List[ExperimentSpec]:
+    """The 1000-node emulation path, fleet-sharded one rack per worker.
+
+    Full scale is 1024 emulated hosts (64 racks, 8 pods): every rack is
+    a shard, and the jobs-invariant aggregate stitches the per-rack
+    metrics into the cluster view EXPERIMENTS.md reports.  Quick scale
+    is 256 hosts with two sampled racks — one per pod — sized for CI's
+    fleet-smoke byte-identity check, not for throughput numbers.
+    """
+    if quick:
+        n_hosts = 256
+        racks = [0, 9]              # one rack in each of the two pods
+        connects = [2]
+        incast_grid = {"size": [16 * KB], "messages": [2]}
+    else:
+        n_hosts = 1024
+        racks = list(range(n_hosts // 16))
+        connects = [8]
+        incast_grid = {"size": [64 * KB], "messages": [4]}
+    return [
+        ExperimentSpec(
+            name="cluster-connect-storm", scenario="cluster-connect-storm",
+            grid={"n_hosts": [n_hosts], "rack": racks,
+                  "connects_per_host": connects},
+            seeds=[0], timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+            description="full-mesh connect storm at cluster scale, one "
+                        "rack per shard (Fig. 9 shape)"),
+        ExperimentSpec(
+            name="cluster-incast", scenario="cluster-incast",
+            grid={"n_hosts": [n_hosts], "rack": racks, **incast_grid},
+            seeds=[0], timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+            description="cluster-wide incast onto a saturated cross-pod "
+                        "sink, one rack per shard (Fig. 10 shape)"),
+    ]
+
+
 SPEC_SETS = {
     "ablation-grid": _ablation_specs,
+    "cluster-scale": _cluster_specs,
     "ctrl-plane": _ctrlplane_specs,
     "fig10": _fig10_specs,
     "smoke": _smoke_specs,

@@ -26,7 +26,7 @@ import importlib
 import json
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.analysis import invariants
 from repro.analysis.clocksync import ClockSync
@@ -81,10 +81,17 @@ class RunContext:
     # ------------------------------------------------------------ factories
     def build_cluster(self, n_hosts: int = 4,
                       params: Optional[SimParams] = None,
+                      attach_hosts: Optional[Iterable[int]] = None,
                       **dims: int) -> Cluster:
-        """A seeded, audited, guarded cluster for this run."""
+        """A seeded, audited, guarded cluster for this run.
+
+        ``attach_hosts`` passes through to
+        :func:`repro.cluster.build_cluster` for the cluster-scale
+        scenarios, which size the fabric for the whole emulated cluster
+        but attach RNIC stacks only for their shard's rack.
+        """
         cluster = build_cluster(n_hosts, params=params, seed=self.seed,
-                                **dims)
+                                attach_hosts=attach_hosts, **dims)
         cluster.sim.enable_tie_audit()
         if self._max_events is not None or self._wall_timeout_s is not None:
             cluster.sim.set_guards(max_events=self._max_events,

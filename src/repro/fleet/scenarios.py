@@ -21,7 +21,9 @@ from collections import deque
 from statistics import mean
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.cluster import fabric_footprint
 from repro.fleet.runner import RunContext, ScenarioFn
+from repro.net.aggregate import AggregateTraffic
 from repro.sim import MICROS, MILLIS, SECONDS
 from repro.sim.params import congested_params
 from repro.tools.xr_perf import XrPerf
@@ -30,7 +32,8 @@ from repro.xrdma.memcache import MemCache
 
 __all__ = ["SCENARIOS", "scenario", "fragment_incast", "rpc_latency",
            "window_throughput", "mr_registration", "fig10_incast",
-           "smoke_incast", "traced_rpc", "ctrl_plane"]
+           "smoke_incast", "traced_rpc", "ctrl_plane", "cluster_dims",
+           "cluster_connect_storm", "cluster_incast"]
 
 SCENARIOS: Dict[str, ScenarioFn] = {}
 
@@ -406,3 +409,183 @@ def smoke_incast(ctx: RunContext) -> Dict[str, Any]:
         "messages": result.messages,
         "bytes_moved": result.bytes_moved,
     }
+
+
+# ----------------------------------------------------------- cluster scale
+#: rack width the cluster-scale scenarios shard by (one ToR per rack)
+RACK_HOSTS = 16
+
+
+def cluster_dims(n_hosts: int) -> Dict[str, int]:
+    """Canonical Clos dimensions for an emulated cluster of ``n_hosts``.
+
+    16 hosts per ToR (one rack), up to 8 racks per pod, two leaves per
+    pod and two spines: 1024 hosts become an 8-pod fabric whose
+    cross-pod paths all transit the spine tier.  Pure arithmetic — every
+    fleet shard of the same cluster derives the identical fabric.
+    """
+    pod_hosts = 8 * RACK_HOSTS
+    n_pods = max(1, -(-n_hosts // pod_hosts))
+    tors_per_pod = -(-n_hosts // (n_pods * RACK_HOSTS))
+    return {"n_pods": n_pods, "tors_per_pod": tors_per_pod,
+            "hosts_per_tor": RACK_HOSTS, "leaves_per_pod": 2,
+            "n_spines": 2}
+
+
+def _rack_shard(n_hosts: int, rack: int) -> List[int]:
+    """The host ids of one rack shard (one ToR's worth)."""
+    n_racks = n_hosts // RACK_HOSTS
+    if n_racks < 2:
+        raise ValueError(
+            f"cluster-scale scenarios need >= {2 * RACK_HOSTS} hosts, "
+            f"got {n_hosts}")
+    if not 0 <= rack < n_racks:
+        raise ValueError(f"rack {rack} outside [0, {n_racks})")
+    base = rack * RACK_HOSTS
+    return list(range(base, base + RACK_HOSTS))
+
+
+def _remote_peer(n_hosts: int, dims: Dict[str, int], rack_base: int) -> int:
+    """A host id one pod away from the rack (falls back to the next rack
+    on single-pod fabrics), so packet-level traffic transits the spines."""
+    pod_hosts = dims["tors_per_pod"] * dims["hosts_per_tor"]
+    peer = (rack_base + pod_hosts) % n_hosts
+    if peer // RACK_HOSTS == rack_base // RACK_HOSTS:
+        peer = (rack_base + RACK_HOSTS) % n_hosts
+    return peer
+
+
+def _spine_tx_bytes(cluster) -> int:
+    return sum(port.tx_bytes
+               for spine in cluster.topology.spines
+               for port in spine.ports)
+
+
+@scenario("cluster-connect-storm")
+def cluster_connect_storm(ctx: RunContext) -> Dict[str, Any]:
+    """Full-mesh connect storm at cluster scale, one rack per fleet shard
+    (the Fig. 9 shape: every node establishing channels at once).
+
+    The fabric is sized for the whole emulated cluster but only this
+    shard's rack gets RNIC stacks, plus one cross-pod gateway host that
+    terminates the rack's connects — so the storm's packet-level traffic
+    transits ToR, leaf and spine tiers.  The other racks' concurrent
+    storms ride flow-aggregate channels converging on the gateway's rack.
+
+    params: n_hosts, rack; optional connects_per_host.
+    """
+    params = ctx.params
+    n_hosts = int(params.get("n_hosts", 1024))
+    rack = int(params.get("rack", 0))
+    connects = int(params.get("connects_per_host", 8))
+    dims = cluster_dims(n_hosts)
+    rack_hosts = _rack_shard(n_hosts, rack)
+    n_racks = n_hosts // RACK_HOSTS
+    gateway = _remote_peer(n_hosts, dims, rack_hosts[0])
+    cluster = ctx.build_cluster(n_hosts,
+                                attach_hosts=[*rack_hosts, gateway],
+                                **dims)
+    sim = cluster.sim
+    agg = AggregateTraffic(cluster)
+    share = cluster.params.link_bandwidth_bps / n_racks
+    for other in range(n_racks):
+        src = other * RACK_HOSTS
+        if other == rack or src == gateway:
+            continue
+        agg.add_flow(src, gateway, rate_bps=share)
+    agg.flush()
+
+    server = cluster.xrdma_context(gateway)
+    accepted = server.listen(8700)
+
+    def acceptor():
+        while True:
+            channel = yield accepted.get()
+            channel.on_request = \
+                lambda msg: server.send_response(msg, 64)
+
+    sim.spawn(acceptor())
+
+    def storm(host_id: int):
+        client = cluster.xrdma_context(host_id)
+        for _ in range(connects):
+            channel = yield from client.connect(gateway, 8700)
+            request = client.send_request(channel, 256)
+            yield request.response
+            yield from client.close_channel(channel)
+
+    procs = [sim.spawn(storm(host)) for host in rack_hosts]
+
+    def wait_all():
+        for proc in procs:
+            yield proc
+
+    waiter = sim.spawn(wait_all())
+    sim.run_until_event(waiter, limit=60 * SECONDS)
+    background_bytes = agg.settle()
+    metrics: Dict[str, Any] = {
+        "rack": rack,
+        "connects": len(rack_hosts) * connects,
+        "storm_ms": round(sim.now / 1e6, 3),
+        "spine_tx_bytes": _spine_tx_bytes(cluster),
+        "background_bytes": round(background_bytes, 1),
+        "background_flows": agg.active_flows(),
+        "pause_frames": cluster.stats.pause_frames,
+    }
+    metrics.update(fabric_footprint(cluster))
+    return metrics
+
+
+@scenario("cluster-incast")
+def cluster_incast(ctx: RunContext) -> Dict[str, Any]:
+    """Cluster-wide incast, one rack per fleet shard (the Fig. 10 shape
+    scaled out: ~all hosts converging on one sink).
+
+    This shard's rack sends packet-level incast traffic to a cross-pod
+    sink; every other host in the emulated cluster converges on the same
+    sink as a flow-aggregate channel at its fair share of the sink link.
+    The foreground flows therefore serialize into the ~5% residual floor
+    of a saturated downlink — the contention regime of the figure —
+    while event cost stays proportional to one rack.
+
+    params: n_hosts, rack; optional size, messages.
+    """
+    params = ctx.params
+    n_hosts = int(params.get("n_hosts", 1024))
+    rack = int(params.get("rack", 0))
+    size = int(params.get("size", 64 * 1024))
+    messages = int(params.get("messages", 4))
+    dims = cluster_dims(n_hosts)
+    rack_hosts = _rack_shard(n_hosts, rack)
+    sink = _remote_peer(n_hosts, dims, rack_hosts[0])
+    cluster = ctx.build_cluster(n_hosts, params=congested_params(),
+                                attach_hosts=[*rack_hosts, sink],
+                                **dims)
+    attached = set(rack_hosts) | {sink}
+    agg = AggregateTraffic(cluster)
+    share = cluster.params.link_bandwidth_bps / n_hosts
+    for host in range(n_hosts):
+        if host in attached:
+            continue
+        agg.add_flow(host, sink, rate_bps=share)
+    agg.flush()
+
+    perf = XrPerf(cluster)
+    config = XrdmaConfig(flow_control=True)
+    result = perf.run_incast(rack_hosts, sink, size=size,
+                             messages_per_source=messages, config=config)
+    background_bytes = agg.settle()
+    metrics: Dict[str, Any] = {
+        "rack": rack,
+        "goodput_gbps": result.goodput_gbps,
+        "messages": result.messages,
+        "foreground_bytes": result.bytes_moved,
+        "background_bytes": round(background_bytes, 1),
+        "background_flows": agg.active_flows(),
+        "spine_tx_bytes": _spine_tx_bytes(cluster),
+        "pause_frames": result.crucial.get("pause_frames", 0),
+        "cnps_sent": result.crucial.get("cnps_sent", 0),
+        "retransmissions": result.crucial.get("retransmissions", 0),
+    }
+    metrics.update(fabric_footprint(cluster))
+    return metrics

@@ -7,8 +7,10 @@
 (CNPs, PFC pause frames, drops — the crucial indexes of Sec. VII-C).
 """
 
+from repro.net.aggregate import AggregateFlow, AggregateTraffic
 from repro.net.device import Device
 from repro.net.packet import Segment, SegmentKind
 from repro.net.stats import NetStats
 
-__all__ = ["Device", "NetStats", "Segment", "SegmentKind"]
+__all__ = ["AggregateFlow", "AggregateTraffic", "Device", "NetStats",
+           "Segment", "SegmentKind"]

@@ -45,9 +45,9 @@ class SimpleHost(Device):
             self.on_receive(segment)
 
     def pause_port(self, port: int, priority: int, pause: bool) -> None:
-        """Honour PFC by gating the single uplink."""
+        """Honour PFC by gating the named class on the single uplink."""
         if self.uplink is not None:
-            self.uplink.set_paused(pause)
+            self.uplink.set_paused(pause, priority)
 
     def send(self, segment: Segment) -> None:
         """Inject a raw segment into the fabric."""

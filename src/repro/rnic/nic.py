@@ -126,7 +126,7 @@ class Rnic(Device):
         uplinks = getattr(self, "uplinks", None) or (
             [self.uplink] if self.uplink else [])
         if 0 <= port < len(uplinks):
-            uplinks[port].set_paused(pause)
+            uplinks[port].set_paused(pause, priority)
 
     def _uplink_for(self, flow_id: int) -> "EgressPort":
         """Port for a flow: pinned on first use to the least-loaded port

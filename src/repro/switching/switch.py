@@ -12,11 +12,17 @@ An output-queued switch with:
 Pause/resume frames travel out-of-band (they gate the upstream port at
 packet boundaries), matching 802.1Qbb behaviour closely enough for the
 congestion experiments (Fig. 10).
+
+Per-switch state is deliberately O(ports): routing is a shared flyweight
+:class:`~repro.topology.clos.RoutingTable` consulted by ``(role, index)``,
+and the PFC ingress accounting lives in flat arrays sized at build rather
+than defaultdicts.  Both keep the 1000-node emulation path's per-node
+memory flat while leaving schedules byte-identical with the closure/dict
+implementation they replaced.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.net.device import Device
@@ -28,13 +34,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.sim.params import SimParams
     from repro.sim.rng import RngStream
+    from repro.topology.clos import RoutingTable
 
-#: Ingress port number used for segments injected by test harnesses.
+#: Ingress port number used for segments injected by test harnesses.  Maps
+#: onto the *trailing* element of the flat ingress arrays — Python's ``-1``
+#: index — which :meth:`Switch.add_port` keeps reserved.
 LOCAL_PORT = -1
 
 
 class Switch(Device):
-    """One switch; the topology wires ports and installs the route function."""
+    """One switch; the topology wires ports and installs shared routing."""
+
+    #: routing-table roles (what a switch *is* in the Clos tiers)
+    ROLE_TOR = 0
+    ROLE_LEAF = 1
+    ROLE_SPINE = 2
 
     def __init__(self, sim: "Simulator", params: "SimParams",
                  stats: "NetStats", rng: "RngStream", name: str):
@@ -46,10 +60,18 @@ class Switch(Device):
         self.ports: List[EgressPort] = []
         #: in_port -> (upstream device, upstream's egress-port index)
         self.neighbors: Dict[int, Tuple[Device, int]] = {}
-        #: installed by the topology: segment -> egress port index
+        #: shared flyweight routing (installed by the topology) + this
+        #: switch's coordinate in it
+        self.routing: Optional["RoutingTable"] = None
+        self.routing_role: int = Switch.ROLE_TOR
+        self.routing_index: int = 0
+        #: test/bench hook: an explicit per-switch route function overrides
+        #: the shared table when set
         self.route: Optional[Callable[[Segment], int]] = None
-        self._ingress_bytes: Dict[int, int] = defaultdict(int)
-        self._paused_upstream: Dict[int, bool] = defaultdict(bool)
+        # Flat PFC ingress accounting, index == ingress port; the final
+        # element is the LOCAL_PORT (-1) slot for harness-injected traffic.
+        self._ingress_bytes: List[int] = [0]
+        self._paused_upstream: List[bool] = [False]
         self.pfc_enabled = True
         self.drops = 0
         self.marks = 0
@@ -62,7 +84,18 @@ class Switch(Device):
             self.sim, self.params, name=f"{self.name}.p{index}",
             bandwidth_bps=bandwidth_bps, on_dequeue=self._on_dequeue)
         self.ports.append(port)
+        # Grow the flat ingress arrays in step, keeping the LOCAL_PORT
+        # accumulator as the trailing element.
+        self._ingress_bytes.insert(index, 0)
+        self._paused_upstream.insert(index, False)
         return index
+
+    def install_routing(self, routing: "RoutingTable", role: int,
+                        index: int) -> None:
+        """Adopt the fabric's shared routing table at ``(role, index)``."""
+        self.routing = routing
+        self.routing_role = role
+        self.routing_index = index
 
     def register_neighbor(self, in_port: int, device: Device,
                           their_port: int) -> None:
@@ -72,10 +105,15 @@ class Switch(Device):
     # ------------------------------------------------------------- data path
     def receive(self, segment: Segment, in_port: int) -> None:
         """Forward one segment: route, admit, ECN-mark, PFC-account."""
-        if self.route is None:
+        route = self.route
+        if route is not None:
+            out_index = route(segment)
+        elif self.routing is not None:
+            out_index = self.routing.route(self.routing_role,
+                                           self.routing_index, segment)
+        else:
             raise RuntimeError(f"switch {self.name!r} has no routing installed")
         segment.hops += 1
-        out_index = self.route(segment)
         port = self.ports[out_index]
         params = self.params
         size = segment.size
@@ -102,7 +140,8 @@ class Switch(Device):
         ingress = self._ingress_bytes[in_port] + size
         self._ingress_bytes[in_port] = ingress
         # Inlined _check_xoff fast path: the per-segment common case is
-        # "below the threshold", one compare away.
+        # "below the threshold", one compare away.  PFC protects the
+        # lossless class, so the pause frame names priority 0.
         if (pfc and in_port != LOCAL_PORT
                 and ingress > params.pfc_xoff_bytes
                 and not self._paused_upstream[in_port]):
@@ -117,8 +156,15 @@ class Switch(Device):
         port.enqueue(segment)
 
     def pause_port(self, port: int, priority: int, pause: bool) -> None:
-        """A downstream device paused/resumed the link our ``port`` feeds."""
-        self.ports[port].set_paused(pause)
+        """A downstream device paused/resumed ``priority``-class traffic on
+        the link our ``port`` feeds.
+
+        The class is honoured: an 802.1Qbb pause frame gates only the named
+        priority, so lossy traffic keeps flowing through a port whose
+        lossless class is paused (head-of-line permitting — the port is a
+        single FIFO, see :meth:`EgressPort.set_paused`).
+        """
+        self.ports[port].set_paused(pause, priority)
 
     # --------------------------------------------------------------- PFC/ECN
     def _should_mark(self, queue_bytes: int) -> bool:

@@ -1,6 +1,6 @@
 """Fabric topology: links, egress ports and the Clos builder (Fig. 1)."""
 
-from repro.topology.clos import ClosTopology
+from repro.topology.clos import ClosTopology, RoutingTable
 from repro.topology.link import EgressPort
 
-__all__ = ["ClosTopology", "EgressPort"]
+__all__ = ["ClosTopology", "EgressPort", "RoutingTable"]

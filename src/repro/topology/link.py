@@ -26,10 +26,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class EgressPort:
     """A FIFO transmit queue feeding one unidirectional wire."""
 
-    __slots__ = ("sim", "params", "name", "bandwidth_bps", "peer",
-                 "peer_port", "queue", "queued_bytes", "paused", "busy",
+    __slots__ = ("sim", "params", "name", "bandwidth_bps",
+                 "base_bandwidth_bps", "background_bps", "peer",
+                 "peer_port", "queue", "queued_bytes", "pause_mask", "busy",
                  "on_dequeue", "tx_segments", "tx_bytes", "_tx_started",
                  "_wake", "_park", "_ser_cache")
+
+    #: pause mask gating every priority class (legacy whole-port gate)
+    PAUSE_ALL = -1
 
     def __init__(self, sim: "Simulator", params: "SimParams", name: str,
                  bandwidth_bps: Optional[float] = None,
@@ -38,11 +42,16 @@ class EgressPort:
         self.params = params
         self.name = name
         self.bandwidth_bps = bandwidth_bps or params.link_bandwidth_bps
+        #: nominal link rate; ``bandwidth_bps`` is the *residual* capacity
+        #: once flow-aggregate background load is subtracted
+        self.base_bandwidth_bps = self.bandwidth_bps
+        self.background_bps = 0.0
         self.peer: Optional["Device"] = None
         self.peer_port: int = 0
         self.queue: Deque[Segment] = deque()
         self.queued_bytes = 0
-        self.paused = False
+        #: bit ``p`` set == PFC priority class ``p`` is paused
+        self.pause_mask = 0
         self.busy = False
         #: owner hook, fires when a segment leaves the queue (PFC xon checks)
         self.on_dequeue = on_dequeue
@@ -63,6 +72,11 @@ class EgressPort:
         self.peer = peer
         self.peer_port = peer_port
 
+    @property
+    def paused(self) -> bool:
+        """True when any priority class is gated (legacy inspection name)."""
+        return self.pause_mask != 0
+
     # -------------------------------------------------------------- data path
     def enqueue(self, segment: Segment) -> None:
         """Queue a segment for transmission (admission already decided)."""
@@ -72,8 +86,12 @@ class EgressPort:
         self.queued_bytes += segment.size
         segment.enqueued_at = self.sim._now   # direct: per-segment hot path
         # Inlined _kick (minus its queue check — we just appended): under
-        # load the port is already draining and this is one compare.
-        if not self.busy and not self.paused:
+        # load the port is already draining and this is one compare.  The
+        # gate is head-of-line: the port is a single FIFO, so it transmits
+        # iff the *head* segment's class is unpaused.
+        if not self.busy and not (
+                self.pause_mask
+                and (self.pause_mask >> self.queue[0].priority) & 1):
             self.busy = True
             if not self._tx_started:
                 self._tx_started = True
@@ -83,11 +101,38 @@ class EgressPort:
                 assert wake is not None  # parked loop always leaves its wake
                 wake.succeed(None)
 
-    def set_paused(self, paused: bool) -> None:
-        """PFC gate: True blocks transmission at the next packet boundary."""
-        self.paused = paused
+    def set_paused(self, paused: bool,
+                   priority: int = PAUSE_ALL) -> None:
+        """PFC gate for one priority class (default: every class).
+
+        Pausing takes effect at the next packet boundary.  Only the named
+        class is gated — traffic of other classes keeps transmitting unless
+        a paused-class segment is at the head of the FIFO (802.1Qbb with
+        the single-queue head-of-line caveat, see DESIGN.md).
+        """
+        if priority == EgressPort.PAUSE_ALL:
+            self.pause_mask = -1 if paused else 0
+        elif paused:
+            self.pause_mask |= (1 << priority)
+        else:
+            self.pause_mask &= ~(1 << priority)
         if not paused:
             self._kick()
+
+    def set_background_load(self, bps: float) -> None:
+        """Reserve ``bps`` of this link for flow-aggregate background
+        traffic: foreground segments serialize at the residual capacity.
+
+        Background load is fluid — it costs no events; its only footprint
+        is this bandwidth reservation plus the byte counters the owning
+        :class:`~repro.net.aggregate.AggregateTraffic` settles.  The
+        residual never drops below 5% of the nominal rate, mirroring how
+        switch schedulers keep a starvation floor for any active queue.
+        """
+        self.background_bps = bps
+        self.bandwidth_bps = max(self.base_bandwidth_bps - bps,
+                                 self.base_bandwidth_bps * 0.05)
+        self._ser_cache.clear()
 
     # ------------------------------------------------------------ out-of-band
     def send_immediate(self, segment: Segment) -> None:
@@ -101,7 +146,9 @@ class EgressPort:
 
     # --------------------------------------------------------------- internal
     def _kick(self) -> None:
-        if self.busy or self.paused or not self.queue:
+        if self.busy or not self.queue:
+            return
+        if self.pause_mask and (self.pause_mask >> self.queue[0].priority) & 1:
             return
         self.busy = True
         if not self._tx_started:
@@ -147,7 +194,9 @@ class EgressPort:
         # blocks on it), so a single recycled object serves every segment.
         ser_timeout: Optional[Timeout] = None
         while True:
-            while queue and not self.paused:
+            while queue and not (
+                    self.pause_mask
+                    and (self.pause_mask >> queue[0].priority) & 1):
                 segment = popleft()
                 ser_ns = ser_cache.get(segment.size)
                 if ser_ns is None:
