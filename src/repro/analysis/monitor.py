@@ -39,6 +39,15 @@ class Monitor:
         self._contexts.append(ctx)
 
     # --------------------------------------------------------------- sampling
+    def gauge(self, name: str, now_ns: int, value: float) -> None:
+        """Record one externally-computed sample into a named series.
+
+        Subsystems that already do their own windowing (e.g. the XR-Serve
+        harness) publish through here so their series sit next to the
+        sampled ones in rollups.
+        """
+        self.series[name].append((now_ns, float(value)))
+
     def maybe_sample(self, ctx: "XrdmaContext") -> None:
         """Called by the context loop; rate-limited per context."""
         last = self._last_sample.get(ctx.ctx_id, -self.sample_interval_ns)

@@ -67,6 +67,22 @@ class LatencyHistogram:
         self.total += other.total
 
 
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an **already sorted** sequence
+    (``q`` in [0, 1]).
+
+    Integer rank arithmetic via ``math.ceil`` — no interpolation, so the
+    result is always an actual observed value and never depends on float
+    summation order.  This is THE percentile routine: the fleet
+    aggregator, the xr_trace CLI and the serving window engine all
+    delegate here, so their numbers are comparable by construction.
+    """
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 

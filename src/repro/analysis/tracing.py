@@ -162,6 +162,7 @@ class TraceRecord:
     spans: List[Tuple[str, int]] = field(default_factory=list)
     complete: bool = False      #: delivered *and* acked; totals are final
     residual_ns: int = 0        #: total - Σ spans (zero unless a hook broke)
+    tenant: str = ""            #: owning tenant (serving runs; "" otherwise)
 
     def dominant_span(self) -> Tuple[str, int]:
         """The longest segment — critical-path attribution for one trace."""
@@ -170,7 +171,7 @@ class TraceRecord:
         return max(self.spans, key=lambda item: (item[1], item[0]))
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "trace_id": self.trace_id,
             "channel_id": self.channel_id,
             "src_host": self.src_host,
@@ -187,6 +188,11 @@ class TraceRecord:
             "complete": self.complete,
             "residual_ns": self.residual_ns,
         }
+        if self.tenant:
+            # Only serving runs tag tenants; the key is omitted otherwise
+            # so untagged artifacts stay byte-identical with older ones.
+            out["tenant"] = self.tenant
+        return out
 
 
 @dataclass
@@ -200,9 +206,12 @@ class SlowLogEntry:
 class Tracer:
     """Per-context tracing hooks; attach via ``Tracer(ctx, clocksync)``."""
 
-    def __init__(self, ctx: "XrdmaContext", clocksync: ClockSync):
+    def __init__(self, ctx: "XrdmaContext", clocksync: ClockSync,
+                 tenant: str = ""):
         self.ctx = ctx
         self.clocksync = clocksync
+        #: tenant tag stamped into every record this tracer creates
+        self.tenant = tenant
         self.clock = clocksync.clock(ctx.nic.host_id)
         self.records: Dict[int, TraceRecord] = {}
         #: sender-side contexts begun but not yet acked
@@ -244,7 +253,7 @@ class Tracer:
             src_host=self.ctx.nic.host_id, dst_host=channel.remote_host,
             payload_size=msg.payload_size, kind=msg.kind.name,
             view="sender", sent_local_ns=header.sent_at_ns,
-            started_at_ns=msg.created_at)
+            started_at_ns=msg.created_at, tenant=self.tenant)
         trace.sender_record = record
         self.records[header.trace_id] = record
         self.pending[header.trace_id] = trace
@@ -276,7 +285,7 @@ class Tracer:
                 src_host=src_host, dst_host=dst_host,
                 payload_size=header.payload_size, kind=header.kind.name,
                 view="receiver", sent_local_ns=header.sent_at_ns,
-                started_at_ns=trace.start_ns)
+                started_at_ns=trace.start_ns, tenant=self.tenant)
             self.records[trace.trace_id] = record
         record.received_local_ns = received_local
         record.network_ns = network
@@ -366,7 +375,7 @@ class Tracer:
             trace_id=trace_id, channel_id=0,
             src_host=self.ctx.nic.host_id, dst_host=remote_host,
             payload_size=0, kind="SETUP", view="setup",
-            started_at_ns=now)
+            started_at_ns=now, tenant=self.tenant)
         trace.sender_record = record
         self.records[trace_id] = record
         self.pending[trace_id] = trace

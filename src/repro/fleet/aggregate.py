@@ -27,10 +27,10 @@ arithmetic, no interpolation, no float-order sensitivity.
 from __future__ import annotations
 
 import hashlib
-import math
 from collections import defaultdict
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.stats import nearest_rank
 from repro.fleet.spec import RunUnit, format_params
 
 __all__ = ["aggregate_records", "percentile", "metric_stats",
@@ -38,23 +38,20 @@ __all__ = ["aggregate_records", "percentile", "metric_stats",
 
 #: attempt-record fields that never enter the aggregate (host-timing or
 #: bookkeeping the invariance guarantee must not depend on; ``traces``
-#: is normally split into traces.jsonl before records reach us, but a
-#: hand-fed record must not bloat the aggregate either)
-_EXCLUDED_FIELDS = ("wall_s", "worker", "final", "traces")
+#: and ``windows`` are normally split into traces.jsonl / windows.jsonl
+#: before records reach us, but a hand-fed record must not bloat the
+#: aggregate either)
+_EXCLUDED_FIELDS = ("wall_s", "worker", "final", "traces", "windows")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of ``values`` (q in [0, 1]).
 
-    Integer rank arithmetic via ``math.ceil`` — no interpolation, so the
-    result is always an actual observed value and never depends on float
-    summation order.
+    Sorts, then delegates to :func:`repro.analysis.stats.nearest_rank` —
+    the one shared implementation (xr_trace and the serving window
+    engine use the same one).
     """
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+    return nearest_rank(sorted(values), q)
 
 
 def metric_stats(values: Sequence[float]) -> Dict[str, float]:

@@ -153,11 +153,46 @@ def _cluster_specs(quick: bool) -> List[ExperimentSpec]:
     ]
 
 
+def _serving_specs(quick: bool) -> List[ExperimentSpec]:
+    """XR-Serve open-loop sweeps (multi-tenant serving, windowed SLOs).
+
+    Full scale runs 160 ms with 20 ms windows (6 stable windows after
+    warmup/cooldown); quick is 40 ms / 10 ms — enough windows for the
+    jobs-invariance byte check without CI-scale event counts.
+    """
+    seeds = [0] if quick else [0, 1, 2]
+    timing = ({"duration_ms": [40], "window_ms": [10]} if quick
+              else {"duration_ms": [160], "window_ms": [20]})
+    mix_grid = {"policy": ["round-robin", "sharded"], **timing}
+    if not quick:
+        # Two arrival processes x two offered loads: the policy axis
+        # only separates in the burst regime (mmpp at a rate the
+        # fabric can absorb); poisson shows the policies are
+        # indistinguishable when no channel queue binds, and the high
+        # mmpp rate shows sharding *hurting* at overload.
+        mix_grid["arrival"] = ["poisson", "mmpp"]
+        mix_grid["rate_per_s"] = [4000, 10000]
+    return [
+        ExperimentSpec(
+            name="serving-mix", scenario="serving-mix", grid=mix_grid,
+            seeds=seeds, timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+            description="mice+elephant tenant: stable-window p99 under "
+                        "round-robin vs per-class-sharded channels"),
+        ExperimentSpec(
+            name="serving-interference", scenario="serving-interference",
+            grid={"aggressor": [0, 1], **timing},
+            seeds=seeds, timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS,
+            description="bulk-incast tenant A vs RPC tenant B on a shared "
+                        "serving host; XR-Traced per-segment attribution"),
+    ]
+
+
 SPEC_SETS = {
     "ablation-grid": _ablation_specs,
     "cluster-scale": _cluster_specs,
     "ctrl-plane": _ctrlplane_specs,
     "fig10": _fig10_specs,
+    "serving": _serving_specs,
     "smoke": _smoke_specs,
     "trace": _trace_specs,
 }

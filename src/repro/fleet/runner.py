@@ -74,6 +74,7 @@ class RunContext:
         self._sims: List[Simulator] = []
         self._monitors: List[Monitor] = []
         self._tracers: List[Tracer] = []
+        self._window_records: List[Dict[str, Any]] = []
         #: one shared ClockSync per cluster (identity-matched list, not an
         #: id()-keyed dict, so iteration order never depends on addresses)
         self._clocksyncs: List[Any] = []
@@ -114,11 +115,14 @@ class RunContext:
         return mon
 
     def attach_tracer(self, cluster: Cluster, xrdma_ctx: Any,
-                      resync_after_ns: Optional[int] = None) -> Tracer:
+                      resync_after_ns: Optional[int] = None,
+                      tenant: str = "") -> Tracer:
         """Attach an XR-Trace tracer to one context; tracers on the same
         cluster share one ClockSync (network decomposition needs both ends
         on the same offset table).  Trace records flow into the run record
-        via :meth:`trace_rollup` / :meth:`trace_records`."""
+        via :meth:`trace_rollup` / :meth:`trace_records`.  ``tenant`` tags
+        every record the tracer creates (serving scenarios use it for
+        per-tenant critical-path attribution)."""
         sync: Optional[ClockSync] = None
         for owner, existing in self._clocksyncs:
             if owner is cluster:
@@ -127,9 +131,18 @@ class RunContext:
         if sync is None:
             sync = ClockSync(cluster.rng, resync_after_ns=resync_after_ns)
             self._clocksyncs.append((cluster, sync))
-        tracer = Tracer(xrdma_ctx, sync)
+        tracer = Tracer(xrdma_ctx, sync, tenant=tenant)
         self._tracers.append(tracer)
         return tracer
+
+    def record_windows(self, rows: Iterable[Dict[str, Any]]) -> None:
+        """Stash per-window SLO rows (XR-Serve) for the run record.
+
+        Rows land in the record's ``windows`` key, which the store splits
+        into the sweep's ``windows.jsonl`` artifact — exactly the
+        ``traces`` treatment, and like traces they are excluded from the
+        jobs-invariant aggregate."""
+        self._window_records.extend(rows)
 
     # ------------------------------------------------------------ collection
     def schedule_digest(self) -> str:
@@ -200,6 +213,10 @@ class RunContext:
         """Every trace, one dict per trace id (sender view preferred)."""
         return merged_trace_records(self._tracers)
 
+    def window_records(self) -> List[Dict[str, Any]]:
+        """Per-window rows stashed via :meth:`record_windows`."""
+        return list(self._window_records)
+
 
 # --------------------------------------------------------------- resolution
 def resolve_scenario(name: str) -> ScenarioFn:
@@ -209,7 +226,8 @@ def resolve_scenario(name: str) -> ScenarioFn:
     populates the registry, so workers (including spawn-context ones that
     share no interpreter state) resolve purely from the task's string.
     """
-    from repro.fleet import drills, scenarios   # noqa: F401  (registration)
+    from repro.fleet import (drills, scenarios,  # noqa: F401  (registration)
+                             serving)            # noqa: F401
     fn = scenarios.SCENARIOS.get(name)
     if fn is not None:
         return fn
@@ -290,6 +308,11 @@ def execute_unit(task: Dict[str, Any]) -> Dict[str, Any]:
         # byte-identical records (and aggregates) with older ones.
         record["trace"] = trace
         record["traces"] = ctx.trace_records()
+    windows = ctx.window_records()
+    if windows:
+        # Same split treatment as traces: the store peels this off into
+        # windows.jsonl; non-serving sweeps never grow the key.
+        record["windows"] = windows
     return record
 
 

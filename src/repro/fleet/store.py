@@ -34,6 +34,7 @@ __all__ = ["ResultStore", "canonical_json"]
 PLAN_NAME = "plan.json"
 RUNS_NAME = "runs.jsonl"
 TRACES_NAME = "traces.jsonl"
+WINDOWS_NAME = "windows.jsonl"
 AGGREGATE_NAME = "aggregate.json"
 MANIFEST_NAME = "manifest.json"
 
@@ -65,6 +66,10 @@ class ResultStore:
         return self.root / TRACES_NAME
 
     @property
+    def windows_path(self) -> Path:
+        return self.root / WINDOWS_NAME
+
+    @property
     def aggregate_path(self) -> Path:
         return self.root / AGGREGATE_NAME
 
@@ -83,8 +88,10 @@ class ResultStore:
         }
         self.plan_path.write_text(canonical_json(plan), encoding="utf-8")
         self._runs_handle = open(self.runs_path, "w", encoding="utf-8")
-        # A fresh sweep must not inherit a previous sweep's trace lines.
+        # A fresh sweep must not inherit a previous sweep's trace or
+        # window lines.
         self.traces_path.unlink(missing_ok=True)
+        self.windows_path.unlink(missing_ok=True)
 
     def append(self, record: Dict[str, Any]) -> None:
         """Append one attempt record, durably (flush + fsync).
@@ -92,23 +99,32 @@ class ResultStore:
         Per-trace lines (the bulky ``traces`` list of traced scenarios)
         are split off into ``traces.jsonl`` — the run record keeps the
         compact ``trace`` rollup; the artifact file is what
-        ``repro.tools.xr_trace`` analyzes.
+        ``repro.tools.xr_trace`` analyzes.  Per-window SLO rows
+        (``windows``, XR-Serve scenarios) get the same treatment into
+        ``windows.jsonl``, which ``repro.tools.xr_slo`` renders.
         """
-        traces = record.pop("traces", None)
-        if traces:
-            with open(self.traces_path, "a", encoding="utf-8") as handle:
-                for entry in traces:
-                    stamped = dict(entry)
-                    stamped["run_id"] = record.get("run_id", "")
-                    stamped["attempt"] = record.get("attempt", 0)
-                    handle.write(json.dumps(stamped, sort_keys=True,
-                                            ensure_ascii=False) + "\n")
+        self._split(record, "traces", self.traces_path)
+        self._split(record, "windows", self.windows_path)
         if self._runs_handle is None:
             self._runs_handle = open(self.runs_path, "a", encoding="utf-8")
         line = json.dumps(record, sort_keys=True, ensure_ascii=False)
         self._runs_handle.write(line + "\n")
         self._runs_handle.flush()
         os.fsync(self._runs_handle.fileno())
+
+    def _split(self, record: Dict[str, Any], key: str, path: Path) -> None:
+        """Peel ``record[key]`` (a list of dicts) off into a side artifact,
+        each line stamped with its run_id/attempt."""
+        entries = record.pop(key, None)
+        if not entries:
+            return
+        with open(path, "a", encoding="utf-8") as handle:
+            for entry in entries:
+                stamped = dict(entry)
+                stamped["run_id"] = record.get("run_id", "")
+                stamped["attempt"] = record.get("attempt", 0)
+                handle.write(json.dumps(stamped, sort_keys=True,
+                                        ensure_ascii=False) + "\n")
 
     def close(self) -> None:
         if self._runs_handle is not None:
@@ -158,19 +174,27 @@ class ResultStore:
 
     def load_traces(self) -> List[Dict[str, Any]]:
         """Every exported trace line, in append order (torn-tail tolerant)."""
-        if not self.traces_path.exists():
+        return self._load_jsonl(self.traces_path)
+
+    def load_windows(self) -> List[Dict[str, Any]]:
+        """Every per-window SLO row, in append order (torn-tail tolerant)."""
+        return self._load_jsonl(self.windows_path)
+
+    @staticmethod
+    def _load_jsonl(path: Path) -> List[Dict[str, Any]]:
+        if not path.exists():
             return []
-        traces: List[Dict[str, Any]] = []
-        with open(self.traces_path, encoding="utf-8") as handle:
+        entries: List[Dict[str, Any]] = []
+        with open(path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    traces.append(json.loads(line))
+                    entries.append(json.loads(line))
                 except json.JSONDecodeError:
                     break
-        return traces
+        return entries
 
     def load_aggregate(self) -> Dict[str, Any]:
         with open(self.aggregate_path, encoding="utf-8") as handle:

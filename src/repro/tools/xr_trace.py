@@ -27,19 +27,19 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.stats import nearest_rank
 
 __all__ = ["main", "analyze", "load_trace_file"]
 
 
 def _percentile(ordered: List[int], p: float) -> int:
-    """Nearest-rank percentile of an already-sorted list."""
+    """Nearest-rank percentile of an already-sorted list (shared impl)."""
     if not ordered:
         return 0
-    rank = max(1, math.ceil(len(ordered) * p / 100))
-    return ordered[rank - 1]
+    return int(nearest_rank(ordered, p / 100))
 
 
 def load_trace_file(path: str) -> Tuple[Dict[str, Any],

@@ -34,23 +34,38 @@ def elephant_size(rng: "RngStream") -> int:
 
 @dataclass
 class FlowSpec:
-    """A unidirectional traffic description between two contexts."""
+    """A unidirectional traffic description between two contexts.
+
+    ``mean_gap_ns`` selects the pacing regime — the distinction the
+    serving subsystem is built on, pinned by
+    ``tests/workloads/test_workloads.py``:
+
+    * ``0`` (**closed-pipe**): messages are enqueued back to back (1 ns
+      apart); the *transport* paces the flow via its seq-ack window and
+      flow-control backpressure.  This is the incast benchmarks' maximal
+      -pressure mode.
+    * ``> 0`` (**open loop**): exponential inter-arrival gaps drawn
+      solely from the rng stream.  Send times are a pure function of
+      ``(seed, spec)`` — they must never depend on acks, completions, or
+      how congested the fabric is, or the offered load would quietly
+      throttle itself exactly when the measurement matters most.
+    """
 
     src: int
     dst: int
-    #: draws a message size (rng -> bytes)
-    size_fn: Callable = None
+    #: draws a message size (rng -> bytes); None = use ``fixed_size``
+    size_fn: Optional[Callable[["RngStream"], int]] = None
     fixed_size: int = 4096
-    #: mean inter-arrival gap; 0 = closed loop (next after previous acked)
+    #: mean inter-arrival gap; 0 = closed-pipe (see class docstring)
     mean_gap_ns: int = 0
     count: Optional[int] = None          #: messages to send (None = endless)
     duration_ns: Optional[int] = None    #: stop after this long
     kind: MessageKind = MessageKind.ONEWAY
 
     def draw_size(self, rng: "RngStream") -> int:
-        if self.size_fn is not None:
-            return self.size_fn(rng)
-        return self.fixed_size
+        if self.size_fn is None:
+            return self.fixed_size
+        return self.size_fn(rng)
 
 
 def open_loop_sender(ctx: "XrdmaContext", channel: "XrdmaChannel",
@@ -59,7 +74,10 @@ def open_loop_sender(ctx: "XrdmaContext", channel: "XrdmaChannel",
     """Process generator: send per ``spec`` with Poisson-ish gaps.
 
     Open loop: does not wait for acks, so bursts genuinely overrun the
-    receiver the way production incast does.
+    receiver the way production incast does.  With ``mean_gap_ns > 0``
+    the enqueue times depend only on the rng stream (never on completion
+    times) — the regression test compares send timestamps across fast
+    and congested fabrics to keep it that way.
     """
     sim = ctx.sim
     started = sim.now

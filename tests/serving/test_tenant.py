@@ -1,0 +1,158 @@
+"""Tenants and the serving harness over a real simulated cluster."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.serving import (BULK_CLASS, RPC_CLASS, ServingHarness, SloTarget,
+                           Tenant, TenantSpec, TrafficClass)
+from repro.sim import MILLIS, RngRegistry
+
+
+def _harness(seed=0, n_hosts=5, duration_ms=30, window_ms=10):
+    cluster = build_cluster(n_hosts, seed=seed)
+    return ServingHarness(cluster, duration_ns=duration_ms * MILLIS,
+                          window_ns=window_ms * MILLIS)
+
+
+def _rpc_spec(**overrides):
+    base = dict(name="t", hosts=(0,), server_host=4, rate_per_s=4_000.0,
+                classes=(RPC_CLASS,), n_channels=2)
+    base.update(overrides)
+    return TenantSpec(**base)
+
+
+def test_single_tenant_open_loop_round_trip():
+    harness = _harness()
+    tenant = harness.add_tenant(_rpc_spec())
+    harness.run()
+    summary = tenant.summary()
+    assert summary["offered"] > 0
+    assert summary["completed"] > 0
+    assert summary["errors"] == 0
+    assert summary["outstanding"] == 0          # drain completed everything
+    assert summary["p99_us"] > 0
+
+
+def test_same_seed_identical_window_digests():
+    digests = []
+    for _ in range(2):
+        harness = _harness(seed=21)
+        tenant = harness.add_tenant(_rpc_spec())
+        harness.run()
+        digests.append(tenant.recorder.digest())
+    assert digests[0] == digests[1]
+
+
+def test_different_seed_different_digest():
+    results = []
+    for seed in (0, 1):
+        harness = _harness(seed=seed)
+        tenant = harness.add_tenant(_rpc_spec())
+        harness.run()
+        results.append(tenant.recorder.digest())
+    assert results[0] != results[1]
+
+
+def test_two_tenants_shared_server_host():
+    harness = _harness(n_hosts=5)
+    a = harness.add_tenant(_rpc_spec(name="a", hosts=(0, 1)))
+    b = harness.add_tenant(_rpc_spec(name="b", hosts=(2,)))
+    assert len(harness.servers) == 1            # one shared serving context
+    harness.run()
+    assert a.summary()["completed"] > 0
+    assert b.summary()["completed"] > 0
+    rows = harness.window_rows()
+    assert {row["tenant"] for row in rows} == {"a", "b"}
+
+
+def test_mixed_classes_route_and_complete():
+    classes = (TrafficClass(name="rpc", weight=0.7,
+                            size_fn=RPC_CLASS.size_fn),
+               TrafficClass(name="bulk", weight=0.3,
+                            size_fn=BULK_CLASS.size_fn))
+    harness = _harness()
+    tenant = harness.add_tenant(_rpc_spec(classes=classes, n_channels=4,
+                                          policy="sharded"))
+    harness.run()
+    summary = tenant.summary()
+    assert summary["sent_rpc"] > summary["sent_bulk"] > 0
+    assert summary["p99_bulk_us"] > summary["p99_rpc_us"]
+
+
+def test_sharded_partitions_channels_per_class():
+    harness = _harness()
+    classes = (RPC_CLASS, BULK_CLASS)
+    tenant = harness.add_tenant(_rpc_spec(classes=classes, n_channels=4,
+                                          policy="sharded"))
+    harness.run()
+    channels = tenant._channels[0]
+    assert len(channels) == 4
+    shard_rpc = [tenant._select_channel(0, 0) for _ in range(8)]
+    shard_bulk = [tenant._select_channel(0, 1) for _ in range(8)]
+    assert set(shard_rpc).isdisjoint(set(shard_bulk))
+    assert set(shard_rpc) | set(shard_bulk) == set(channels)
+
+
+def test_round_robin_cycles_all_channels():
+    harness = _harness()
+    tenant = harness.add_tenant(_rpc_spec(n_channels=3))
+    harness.run()
+    picks = [tenant._select_channel(0, 0) for _ in range(6)]
+    assert set(picks) == set(tenant._channels[0])
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        _rpc_spec(hosts=())
+    with pytest.raises(ValueError):
+        _rpc_spec(hosts=(4,))                   # source == server
+    with pytest.raises(ValueError):
+        _rpc_spec(classes=())
+    with pytest.raises(ValueError):
+        _rpc_spec(policy="random")
+    with pytest.raises(ValueError):
+        _rpc_spec(n_channels=0)
+    with pytest.raises(ValueError):
+        _rpc_spec(classes=(TrafficClass(name="z", weight=0.0),))
+
+
+def test_harness_validation():
+    cluster = build_cluster(2, seed=0)
+    with pytest.raises(ValueError):
+        ServingHarness(cluster, duration_ns=0, window_ns=1)
+    with pytest.raises(ValueError):
+        ServingHarness(cluster, duration_ns=10, window_ns=20)
+    harness = ServingHarness(cluster, duration_ns=10 * MILLIS,
+                             window_ns=10 * MILLIS)
+    with pytest.raises(RuntimeError):
+        harness.run()                           # no tenants
+    harness.add_tenant(TenantSpec(name="t", hosts=(0,), server_host=1,
+                                  rate_per_s=1_000.0))
+    harness.run()
+    with pytest.raises(RuntimeError):
+        harness.run()                           # already ran
+
+
+def test_weighted_class_pick_is_deterministic_and_weighted():
+    spec = _rpc_spec(classes=(
+        TrafficClass(name="hot", weight=0.9),
+        TrafficClass(name="cold", weight=0.1)))
+    harness = _harness()
+    tenant = Tenant(spec, harness)
+    rng = RngRegistry(5).stream("picks")
+    picks = [tenant._pick_class(rng) for _ in range(1000)]
+    rng2 = RngRegistry(5).stream("picks")
+    assert picks == [tenant._pick_class(rng2) for _ in range(1000)]
+    assert 800 < picks.count(0) < 980
+
+
+def test_monitor_series_published():
+    from repro.analysis.monitor import Monitor
+
+    harness = _harness()
+    tenant = harness.add_tenant(_rpc_spec())
+    monitor = Monitor(harness.cluster.sim, harness.cluster.stats)
+    harness.run(monitor=monitor)
+    series = monitor.series[f"serving.{tenant.spec.name}.achieved_rps"]
+    assert len(series) == tenant.recorder.n_windows
+    assert any(value > 0 for _, value in series)

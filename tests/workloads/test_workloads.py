@@ -74,3 +74,72 @@ def test_rate_at_steps():
     assert rate_at(knots, 999) == 3.0
     with pytest.raises(ValueError):
         rate_at([], 0)
+
+
+def test_size_fns_deterministic_under_fixed_seed():
+    """Same stream name + seed -> the identical size sequence."""
+    for fn in (mice_size, elephant_size):
+        a = RngRegistry(7).stream("sizes")
+        b = RngRegistry(7).stream("sizes")
+        assert [fn(a) for _ in range(200)] == [fn(b) for _ in range(200)]
+    # ...and a different seed genuinely changes the draws.
+    c = RngRegistry(8).stream("sizes")
+    d = RngRegistry(7).stream("sizes")
+    assert ([mice_size(c) for _ in range(50)]
+            != [mice_size(d) for _ in range(50)])
+
+
+def test_elephant_tail_is_heavy():
+    """Pareto-shaped: the mean sits far above the median, and the top
+    decile carries a disproportionate share of the bytes."""
+    rng = RngRegistry(3).stream("tail")
+    sizes = sorted(elephant_size(rng) for _ in range(2000))
+    median = sizes[len(sizes) // 2]
+    mean = sum(sizes) / len(sizes)
+    assert mean > 1.3 * median
+    top_decile = sum(sizes[-len(sizes) // 10:])
+    assert top_decile > 0.3 * sum(sizes)
+
+
+def test_mice_biased_small():
+    """Log-uniform: the median mouse is far below the 4 KB cap."""
+    rng = RngRegistry(5).stream("mice-bias")
+    sizes = sorted(mice_size(rng) for _ in range(500))
+    assert sizes[len(sizes) // 2] < 1024
+
+
+def _open_loop_send_times(params, seed=13, gap_ns=30_000):
+    """Send timestamps of one open-loop flow on a fabric with ``params``."""
+    from repro.cluster import build_cluster
+    from repro.workloads.flows import open_loop_sender
+
+    cluster = build_cluster(2, seed=seed, params=params)
+    ctx = cluster.xrdma_context(0)
+    server = cluster.xrdma_context(1)
+    server.listen(9100)
+    spec = FlowSpec(src=0, dst=1, fixed_size=32 * 1024,
+                    mean_gap_ns=gap_ns, count=40)
+    rng = cluster.rng.stream("flow")
+    sent_log = []
+
+    def run():
+        channel = yield from ctx.connect(1, 9100)
+        yield from open_loop_sender(ctx, channel, spec, rng, sent_log)
+
+    proc = cluster.sim.spawn(run())
+    cluster.sim.run_until_event(proc, limit=5 * SECONDS)
+    assert len(sent_log) == 40
+    first = sent_log[0][0]
+    return [t - first for t, _, _ in sent_log]
+
+
+def test_open_loop_gaps_independent_of_completion_times():
+    """The pinned open-loop contract: with ``mean_gap_ns > 0`` the send
+    schedule is a pure function of (seed, spec).  A drastically slower
+    fabric changes every completion time but must not move a single
+    enqueue."""
+    from repro.sim.params import SimParams, congested_params
+
+    fast = _open_loop_send_times(SimParams())
+    slow = _open_loop_send_times(congested_params())
+    assert fast == slow
