@@ -11,7 +11,10 @@ machine-checkable over the generator CFG (:mod:`.flow`) and the project
 call graph (:mod:`.callgraph`):
 
 * **XR401 stale-guard** — a capacity/length/state guard is read before a
-  preemption edge and relied on after it without a re-check.
+  preemption edge and relied on after it without a re-check; the same
+  rule also covers the *alloc-install* variant (the PR 10 channel
+  rendezvous races), where the stale fact is the implicit "this channel
+  is alive" established before an allocator yield.
 * **XR402 exception-edge-leak** — a resource acquired from a cache/
   allocator can be orphaned when a later call raises a *handled*
   exception, because no except/finally on that edge releases it.
@@ -31,12 +34,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.lint.callgraph import CallGraph, last_component
 from repro.analysis.lint.core import FileContext, Finding, Rule, register
-from repro.analysis.lint.flow import (attr_path, attr_paths_read,
-                                      block_lists, condition_fingerprints,
-                                      functions_in, identifier_parts,
-                                      is_generator, is_terminal,
-                                      iter_own_scope, mutates_path,
-                                      normalize, preemption_in)
+from repro.analysis.lint.flow import (MUTATOR_METHODS, attr_path,
+                                      attr_paths_read, block_lists,
+                                      condition_fingerprints, functions_in,
+                                      identifier_parts, is_generator,
+                                      is_terminal, iter_own_scope,
+                                      mutates_path, normalize, preemption_in)
 
 _FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
 _SCOPE_BARRIERS = _FUNC_DEFS + (ast.ClassDef, ast.Lambda)
@@ -44,6 +47,12 @@ _LOOPS = (ast.While, ast.For, ast.AsyncFor)
 
 
 # =========================================================== XR401
+#: allocator methods whose yield opens the alloc-install race window —
+#: deliberately narrower than XR402's acquire vocabulary: connect/
+#: create_qp results are handed off, not installed into channel maps
+_ALLOC_METHODS = {"alloc", "try_alloc"}
+
+
 @dataclass
 class _GuardState:
     guarded: Set[str]
@@ -65,18 +74,33 @@ class StaleGuardRule(Rule):
     shared object state (attribute paths — locals cannot race) is *stale*
     after any preemption edge; the mutation it protects must re-validate
     it first.
+
+    The rule's second scan covers the *implicit* guard variant — the
+    pre-PR-10 ``_start_rendezvous``/``_send_announce`` races: a buffer
+    comes back from ``yield from memcache.alloc(...)`` and is installed
+    into shared channel state (``self._rendezvous[seq] = ...``,
+    ``msg.src_buffer = buffer``) with no lifecycle re-check in between.
+    The guard here was never written down: the channel was READY when the
+    generator was dispatched, but ``mark_broken`` can run during the
+    alloc yield, sweep the maps, and the resumed install both leaks the
+    buffer and resurrects state on a dead channel.  Clean exits: a
+    lifecycle/state re-check with a terminal body before the install, a
+    ``free(...)`` of the buffer, or returning it to the caller.
     """
 
     name = "stale-guard"
     code = "XR401"
     summary = ("guard read before a yield point and relied on after it "
-               "without re-checking (QpCache.put/prewarm race shape)")
+               "without re-checking (QpCache.put/prewarm race shape), or "
+               "an alloc-yield result installed into shared state with "
+               "no lifecycle re-check (rendezvous alloc-race shape)")
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         for func in functions_in(tree):
             if not is_generator(func):
                 continue
             yield from self._check_function(ctx, func)
+            yield from self._check_alloc_installs(ctx, func)
 
     def _check_function(self, ctx: FileContext,
                         func: ast.AST) -> Iterator[Finding]:
@@ -106,6 +130,126 @@ class StaleGuardRule(Rule):
                         f"{path!r} while this one was suspended; re-check "
                         f"the guard after the last yield (the "
                         f"QpCache.put/prewarm race shape)")
+
+    # ------------------------------------------------- alloc-install scan
+    def _check_alloc_installs(self, ctx: FileContext,
+                              func: ast.AST) -> Iterator[Finding]:
+        for chain, stmt in _assignments_with_chains(func):
+            if not isinstance(stmt, ast.Assign) \
+                    or not isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+                continue
+            call = _acquisition_call(stmt.value)
+            if call is None or last_component(call.func) not in _ALLOC_METHODS:
+                continue
+            names: Set[str] = set()
+            for target in stmt.targets:
+                base = (target.value if isinstance(target, ast.Subscript)
+                        else target)
+                path = attr_path(base)
+                if path is not None and "." in path:
+                    # The install is fused into the acquire itself: the
+                    # buffer lands in shared state before any statement
+                    # could re-check the channel.
+                    yield self._alloc_finding(ctx, stmt, stmt.lineno, path)
+                elif isinstance(target, ast.Name):
+                    names.add(target.id)
+            if not names:
+                continue
+            hit = self._scan_install(_tail_from_chain(chain), names)
+            if isinstance(hit, tuple):
+                site, path = hit
+                yield self._alloc_finding(ctx, site, stmt.lineno, path)
+
+    def _alloc_finding(self, ctx: FileContext, site: ast.stmt,
+                       alloc_line: int, path: str) -> Finding:
+        return self.finding(
+            ctx, site,
+            f"buffer from the alloc yield at line {alloc_line} is "
+            f"installed into {path!r} with no lifecycle re-check after "
+            f"the yield — mark_broken may have run and swept this state "
+            f"while the process was suspended, so the install leaks the "
+            f"buffer onto a dead channel; re-check the channel state "
+            f"after the alloc, free the buffer, and bail (the rendezvous "
+            f"alloc-race shape)")
+
+    def _scan_install(self, stmts: Sequence[ast.stmt], names: Set[str]):
+        """First decisive event after an alloc yield: an install site
+        ``(stmt, path)``, the string ``"clean"``, or None (nothing
+        decisive in this block)."""
+        for stmt in stmts:
+            if isinstance(stmt, _SCOPE_BARRIERS):
+                continue
+            if isinstance(stmt, ast.Return):
+                return "clean"      # escapes to the caller: XR402's domain
+            if self._releases_any(stmt, names):
+                return "clean"
+            if isinstance(stmt, ast.If):
+                if identifier_parts(stmt.test) & _ALLOC_GUARD_WORDS \
+                        and is_terminal(stmt.body):
+                    return "clean"  # the lifecycle re-check exists
+                # Other branches only *find* installs; a return inside
+                # (`if buffer is None: return`) ends that path, not the
+                # fall-through this scan follows.
+                for block in (stmt.body, stmt.orelse):
+                    hit = self._scan_install(block, names)
+                    if isinstance(hit, tuple):
+                        return hit
+                continue
+            if isinstance(stmt, ast.Assign) \
+                    and all(isinstance(t, ast.Name) for t in stmt.targets) \
+                    and self._mentions_any(stmt.value, names):
+                # `rendezvous = _Rendezvous(..., buffer=buffer)` makes the
+                # wrapper a live handle on the allocation.
+                names |= {t.id for t in stmt.targets
+                          if isinstance(t, ast.Name)}
+                continue
+            path = self._install_path(stmt, names)
+            if path is not None:
+                return stmt, path
+            for block in block_lists(stmt):
+                hit = self._scan_install(block, names)
+                if isinstance(hit, tuple):
+                    return hit
+        return None
+
+    def _install_path(self, stmt: ast.stmt,
+                      names: Set[str]) -> Optional[str]:
+        """The dotted shared-state path a statement installs a tracked
+        name into, or None.  Bare locals (``buffers.append(x)``) are not
+        installs — nothing else can reach them."""
+        if isinstance(stmt, ast.Assign) \
+                and self._mentions_any(stmt.value, names):
+            for target in stmt.targets:
+                base = (target.value if isinstance(target, ast.Subscript)
+                        else target)
+                path = attr_path(base)
+                if path is not None and "." in path:
+                    return path
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if isinstance(call.func, ast.Attribute) \
+                    and call.func.attr in MUTATOR_METHODS:
+                path = attr_path(call.func.value)
+                if path is not None and "." in path and any(
+                        self._mentions_any(arg, names)
+                        for arg in call.args):
+                    return path
+        return None
+
+    def _releases_any(self, stmt: ast.stmt, names: Set[str]) -> bool:
+        for sub in iter_own_scope(stmt):
+            if isinstance(sub, ast.Call) \
+                    and last_component(sub.func) in _RELEASE_CALLS:
+                for arg in list(sub.args) \
+                        + [kw.value for kw in sub.keywords]:
+                    if self._mentions_any(arg, names):
+                        return True
+        return False
+
+    @staticmethod
+    def _mentions_any(node: ast.AST, names: Set[str]) -> bool:
+        return any(isinstance(sub, ast.Name) and sub.id in names
+                   for sub in ast.walk(node))
 
     @staticmethod
     def _as_guard(stmt: ast.stmt) -> Optional[Tuple[Set[str], Set[str]]]:
@@ -504,6 +648,10 @@ _LIFECYCLE_WORDS = {
     "closed", "closing", "alive", "started", "active", "draining", "halt",
     "quit", "exit", "ready",
 }
+#: what XR401's alloc-install scan accepts as a post-alloc lifecycle
+#: re-check: the lifecycle vocabulary plus the state-comparison words
+#: (`channel.state is not ChannelState.READY`, `self.broken`)
+_ALLOC_GUARD_WORDS = _LIFECYCLE_WORDS | {"state", "broken"}
 
 
 @register

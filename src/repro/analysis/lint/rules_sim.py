@@ -14,6 +14,7 @@ import ast
 from typing import Iterator, List, Set
 
 from repro.analysis.lint.core import FileContext, Finding, Rule, register
+from repro.analysis.lint.flow import functions_in, is_generator
 from repro.analysis.lint.rules_resources import _iter_scope
 
 #: host-blocking calls by resolved dotted name
@@ -112,6 +113,45 @@ class NonEventYieldRule(Rule):
                         f"{shown} in sim process {node.name!r}: the engine "
                         f"rejects non-Event yields with a TypeError at "
                         f"resume time; yield sim.timeout(...)/an Event")
+
+
+@register
+class GeneratorAnnotatedNoneRule(Rule):
+    """A generator must not be annotated ``-> None``.
+
+    Calling a generator function returns a generator object, always — an
+    annotation of ``-> None`` is a lie the sim makes expensive: readers
+    (and the ``yield from`` call sites the annotation documents) see a
+    plain method, so a refactor that "simplifies" a call to
+    ``self._finish_rendezvous(seq)`` without the ``yield from`` silently
+    drops every event the body would have scheduled.  The pre-PR-10
+    ``_finish_rendezvous`` carried exactly this annotation.  mypy strict
+    catches the class too, but mypy does not run over this tree in CI —
+    this rule pins the convention: annotate sim processes with
+    ``ProcessGenerator`` (or a ``Generator``/``Iterator`` type).
+    """
+
+    name = "generator-annotated-none"
+    code = "XR304"
+    summary = ("generator function annotated `-> None` (calling it "
+               "returns a generator; the annotation hides the required "
+               "`yield from`)")
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for func in functions_in(tree):
+            if not isinstance(func, ast.FunctionDef):
+                continue        # async generators annotate differently
+            returns = func.returns
+            if returns is None or not is_generator(func):
+                continue
+            if isinstance(returns, ast.Constant) and returns.value is None:
+                yield self.finding(
+                    ctx, returns,
+                    f"{func.name!r} is a generator (it yields) but is "
+                    f"annotated `-> None`: calling it returns a generator "
+                    f"object, and the annotation invites call sites to "
+                    f"drop the required `yield from`; annotate it "
+                    f"ProcessGenerator")
 
 
 def _broad_names(ctx: FileContext, type_node: ast.AST) -> Set[str]:

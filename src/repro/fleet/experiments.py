@@ -187,11 +187,62 @@ def _serving_specs(quick: bool) -> List[ExperimentSpec]:
     ]
 
 
+def _protocol_specs(quick: bool) -> List[ExperimentSpec]:
+    """The protocol ablation matrix (ROADMAP item 5): the Taranov axes
+    gridded over pingpong, incast, and the serving mice/bulk mix.
+
+    Full scale is the EXPERIMENTS.md "which protocol wins where" table;
+    quick is a two-variant slice of each workload, small enough for the
+    fleet-smoke jobs-invariance byte check.
+    """
+    seeds = [0] if quick else [0, 1, 2]
+    variants = ["read", "write"]
+    common = dict(seeds=seeds, timeout_s=_TIMEOUT_S, max_events=_MAX_EVENTS)
+    if quick:
+        pingpong_grid = {"rendezvous_variant": variants,
+                         "size": [2048, 256 * KB]}
+        incast_grid = {"rendezvous_variant": variants,
+                       "fragment_bytes": [64 * KB]}
+        serving_grid = {"rendezvous_variant": variants,
+                        "duration_ms": [40], "window_ms": [10]}
+    else:
+        pingpong_grid = {"rendezvous_variant": variants,
+                         "size": [2048, 64 * KB, MB],
+                         "small_msg_size": [1024, 4096]}
+        incast_grid = {"rendezvous_variant": variants,
+                       "fragment_bytes": [16 * KB, 64 * KB, 256 * KB],
+                       "inflight_depth": [8, 32]}
+        serving_grid = {"rendezvous_variant": variants,
+                        "small_msg_size": [1024, 4096],
+                        "duration_ms": [160], "window_ms": [20]}
+    return [
+        ExperimentSpec(
+            name="protocol-pingpong", scenario="protocol-pingpong",
+            grid=pingpong_grid,
+            description="closed-loop RPC RTT: read vs write rendezvous "
+                        "at and above the eager boundary",
+            **common),
+        ExperimentSpec(
+            name="protocol-incast", scenario="protocol-incast",
+            grid=incast_grid,
+            description="congested incast goodput across rendezvous "
+                        "variant x fragment size x window depth",
+            **common),
+        ExperimentSpec(
+            name="protocol-serving", scenario="protocol-serving",
+            grid=serving_grid,
+            description="serving mice/bulk mix: stable-window p99 per "
+                        "rendezvous variant",
+            **common),
+    ]
+
+
 SPEC_SETS = {
     "ablation-grid": _ablation_specs,
     "cluster-scale": _cluster_specs,
     "ctrl-plane": _ctrlplane_specs,
     "fig10": _fig10_specs,
+    "protocol-ablation": _protocol_specs,
     "serving": _serving_specs,
     "smoke": _smoke_specs,
     "trace": _trace_specs,

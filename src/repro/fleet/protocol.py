@@ -1,0 +1,152 @@
+"""Fleet scenarios for the protocol ablation matrix (ROADMAP item 5).
+
+Three workload shapes, each swept over the pluggable protocol axes that
+:mod:`repro.xrdma.protocol` exposes through :class:`XrdmaConfig` —
+rendezvous variant (receiver Read vs sender Write-with-notify), eager
+threshold, fragment size, and window depth:
+
+* ``protocol-pingpong`` — closed-loop RPC latency, the variant's
+  round-trip cost at and above the eager boundary;
+* ``protocol-incast`` — congested many-to-one goodput, where fragment
+  size and window depth interact with the variant's control-message
+  economy;
+* ``protocol-serving`` — the XR-Serve mice+bulk open-loop mix, where the
+  bulk class rides the rendezvous path while mice demand low p99.
+
+The ``protocol-ablation`` spec set grids them; the aggregate is the
+"which protocol wins where" table EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Any, Dict, List
+
+from repro.fleet.runner import RunContext
+from repro.fleet.scenarios import scenario
+from repro.serving import (BULK_CLASS, RPC_CLASS, ServingHarness, SloTarget,
+                           TenantSpec, TrafficClass)
+from repro.sim import MILLIS, SECONDS
+from repro.sim.params import congested_params
+from repro.tools.xr_perf import XrPerf
+from repro.xrdma import XrdmaConfig
+
+__all__ = ["protocol_config", "protocol_pingpong", "protocol_incast",
+           "protocol_serving"]
+
+
+def protocol_config(params: Dict[str, Any], **extra: Any) -> XrdmaConfig:
+    """An :class:`XrdmaConfig` from the protocol axes present in
+    ``params`` (absent axes keep the paper's defaults)."""
+    kwargs: Dict[str, Any] = dict(extra)
+    if "rendezvous_variant" in params:
+        kwargs["rendezvous_variant"] = str(params["rendezvous_variant"])
+    if "small_msg_size" in params:
+        kwargs["small_msg_size"] = int(params["small_msg_size"])
+    if "fragment_bytes" in params:
+        kwargs["fragment_bytes"] = int(params["fragment_bytes"])
+    if "inflight_depth" in params:
+        kwargs["inflight_depth"] = int(params["inflight_depth"])
+    return XrdmaConfig(**kwargs)
+
+
+@scenario("protocol-pingpong")
+def protocol_pingpong(ctx: RunContext) -> Dict[str, Any]:
+    """Closed-loop RPC round trips under one protocol design point.
+
+    params: rendezvous_variant, size; optional small_msg_size,
+    fragment_bytes, inflight_depth, iterations.
+    """
+    params = ctx.params
+    size = int(params.get("size", 2048))
+    iterations = int(params.get("iterations", 16))
+    config = protocol_config(params)
+    cluster = ctx.build_cluster(2)
+    client = cluster.xrdma_context(0, config=config)
+    server = cluster.xrdma_context(1, config=protocol_config(params))
+    accepted = server.listen(8720)
+    latencies: List[int] = []
+
+    def run():
+        channel = yield from client.connect(1, 8720)
+        server_channel = yield accepted.get()
+        server_channel.on_request = \
+            lambda msg: server.send_response(msg, 64)
+        for index in range(iterations):
+            t0 = cluster.sim.now
+            request = client.send_request(channel, size)
+            yield request.response
+            if index >= 3:                      # drop warmup iterations
+                latencies.append(cluster.sim.now - t0)
+        return channel, server_channel
+
+    proc = cluster.sim.spawn(run())
+    channel, server_channel = cluster.sim.run_until_event(
+        proc, limit=60 * SECONDS)
+    return {
+        "rtt_us": round(mean(latencies) / 1000, 3),
+        "eager": size <= config.small_msg_size,
+        "rendezvous_reads": server_channel.stats["rendezvous_reads"],
+        "rendezvous_writes": channel.stats["rendezvous_writes"],
+    }
+
+
+@scenario("protocol-incast")
+def protocol_incast(ctx: RunContext) -> Dict[str, Any]:
+    """Congested incast goodput under one protocol design point.
+
+    params: rendezvous_variant; optional fragment_bytes, inflight_depth,
+    small_msg_size, n_sources, streams_per_source, size, messages.
+    """
+    params = ctx.params
+    n_sources = int(params.get("n_sources", 4))
+    streams = int(params.get("streams_per_source", 4))
+    sources = [src for src in range(n_sources) for _ in range(streams)]
+    cluster = ctx.build_cluster(n_sources + 1, params=congested_params())
+    ctx.monitor(cluster)
+    perf = XrPerf(cluster)
+    result = perf.run_incast(sources, n_sources,
+                             size=int(params.get("size", 256 * 1024)),
+                             messages_per_source=int(
+                                 params.get("messages", 8)),
+                             config=protocol_config(params))
+    return {
+        "goodput_gbps": result.goodput_gbps,
+        "messages": result.messages,
+        "cnps_sent": result.crucial.get("cnps_sent", 0),
+        "pause_frames": result.crucial.get("pause_frames", 0),
+        "retransmissions": result.crucial.get("retransmissions", 0),
+    }
+
+
+@scenario("protocol-serving")
+def protocol_serving(ctx: RunContext) -> Dict[str, Any]:
+    """XR-Serve mice+bulk open-loop mix under one protocol design point:
+    the bulk class exercises the rendezvous variant while the mice set
+    the p99 the SLO judges.
+
+    params: rendezvous_variant; optional small_msg_size, fragment_bytes,
+    inflight_depth, rate_per_s, duration_ms, window_ms, slo_us.
+    """
+    params = ctx.params
+    duration_ns = int(float(params.get("duration_ms", 40)) * MILLIS)
+    window_ns = int(float(params.get("window_ms", 10)) * MILLIS)
+    cluster = ctx.build_cluster(4)
+    monitor = ctx.monitor(cluster)
+    harness = ServingHarness(cluster, duration_ns=duration_ns,
+                             window_ns=window_ns)
+    harness.server_context(3, config=protocol_config(params))
+    classes = (
+        TrafficClass(name="rpc", weight=0.8, size_fn=RPC_CLASS.size_fn),
+        TrafficClass(name="bulk", weight=0.2, size_fn=BULK_CLASS.size_fn))
+    spec = TenantSpec(
+        name="mix", hosts=(0, 1), server_host=3,
+        rate_per_s=float(params.get("rate_per_s", 10_000.0)),
+        classes=classes,
+        n_channels=int(params.get("n_channels", 4)),
+        policy=str(params.get("policy", "sharded")),
+        slo=SloTarget(latency_us=float(params.get("slo_us", 800.0))))
+    tenant = harness.add_tenant(spec, config=protocol_config(params))
+    harness.run(monitor=monitor)
+    ctx.record_windows(harness.window_rows())
+    return {f"mix_{key}": value for key, value in tenant.summary().items()}

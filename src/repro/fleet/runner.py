@@ -226,8 +226,8 @@ def resolve_scenario(name: str) -> ScenarioFn:
     populates the registry, so workers (including spawn-context ones that
     share no interpreter state) resolve purely from the task's string.
     """
-    from repro.fleet import (drills, scenarios,  # noqa: F401  (registration)
-                             serving)            # noqa: F401
+    from repro.fleet import (drills, protocol,   # noqa: F401  (registration)
+                             scenarios, serving)  # noqa: F401
     fn = scenarios.SCENARIOS.get(name)
     if fn is not None:
         return fn

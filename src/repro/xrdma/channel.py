@@ -4,13 +4,22 @@ The channel implements the message model of Sec. IV-C over one RC QP:
 
 * **small messages** (≤ ``small_msg_size``) go eagerly as SEND_IMM — one
   RDMA operation, receive buffers pre-posted from the memory cache;
-* **large messages** rendezvous: a header-only SEND announces (size, addr,
-  rkey); the *receiver* allocates on demand and RDMA-Reads the payload —
-  the same "Read replaces Write" path serves large RPC responses;
+* **large messages** rendezvous — *how* is pluggable: the configured
+  :class:`~repro.xrdma.protocol.RendezvousStrategy` moves the payload.
+  The default (``rendezvous_variant="read"``) is the paper's design: a
+  header-only SEND announces (size, addr, rkey); the *receiver*
+  allocates on demand and RDMA-Reads the payload — the same "Read
+  replaces Write" path serves large RPC responses.  The ``"write"``
+  variant is sender Write-with-notify (CTS grant + WRITE_IMM FIN);
 * every transmission piggybacks the seq-ack window's cumulative ack;
 * keepAlive probes are zero-byte RDMA Writes the peer RNIC acknowledges in
   hardware;
 * data WRs flow through the per-channel :class:`FlowController`.
+
+The send and rendezvous paths live in :mod:`repro.xrdma.protocol`; the
+channel owns the state (window, queues, ``_rendezvous``,
+``_write_pending``) and delegates wire decisions to the strategies its
+:class:`~repro.xrdma.protocol.ProtocolPolicy` selects per message.
 
 All generator methods are driven by the owning context's run-to-complete
 loop — the channel never blocks anyone else's progress.
@@ -20,9 +29,8 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Tuple
 
 from repro.analysis import invariants
 from repro.analysis.invariants import check as _invariant
@@ -32,6 +40,7 @@ from repro.sim.process import ProcessGenerator
 from repro.xrdma.flowctl import FlowController
 from repro.xrdma.memcache import RdmaBuffer
 from repro.xrdma.message import (MessageKind, XrdmaHeader, XrdmaMessage)
+from repro.xrdma.protocol import ProtocolPolicy, _Rendezvous, _WrRoute
 from repro.xrdma.seqack import SeqAckWindow
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,28 +62,6 @@ class ChannelBroken(RuntimeError):
     """Raised into waiters when the channel dies under them."""
 
 
-@dataclass
-class _WrRoute:
-    """Send-CQE demultiplexing record."""
-
-    tag: str                       #: small|announce|ctrl|read|keepalive
-    message: Optional[XrdmaMessage] = None
-    seq: int = -1
-    last_fragment: bool = False
-    header: Optional[XrdmaHeader] = None
-
-
-@dataclass
-class _Rendezvous:
-    """Receiver-side state for one in-progress large-message read."""
-
-    seq: int
-    header: XrdmaHeader
-    buffer: Optional[RdmaBuffer]
-    fragments_left: int
-    started_at: int
-
-
 class XrdmaChannel:
     """One established connection between two X-RDMA contexts."""
 
@@ -92,10 +79,13 @@ class XrdmaChannel:
             fragment_bytes=ctx.config.fragment_bytes,
             enabled=ctx.config.flow_control,
             budget=ctx.wr_budget)
+        self.protocol = ProtocolPolicy(ctx.config)
         self.pending_send: Deque[XrdmaMessage] = deque()
         self.sent: Dict[int, XrdmaMessage] = {}          # seq -> message
         self.pending_requests: Dict[int, XrdmaMessage] = {}  # msg_id -> req
         self._rendezvous: Dict[int, _Rendezvous] = {}    # seq -> state
+        #: write-rendezvous sender side: seq -> message awaiting its CTS
+        self._write_pending: Dict[int, XrdmaMessage] = {}
         #: completed arrivals awaiting in-order delivery to the app
         self._pending_delivery: Dict[int, Tuple[XrdmaHeader, int]] = {}
         self._next_deliver_seq = 0
@@ -108,7 +98,7 @@ class XrdmaChannel:
         self.stats = {
             "tx_msgs": 0, "rx_msgs": 0, "tx_bytes": 0, "rx_bytes": 0,
             "acks_sent": 0, "nops_sent": 0, "keepalives_sent": 0,
-            "rendezvous_reads": 0, "queued_peak": 0,
+            "rendezvous_reads": 0, "rendezvous_writes": 0, "queued_peak": 0,
         }
 
     # ------------------------------------------------------------ public api
@@ -116,6 +106,11 @@ class XrdmaChannel:
     def remote_host(self) -> int:
         """Peer host id."""
         return self.conn.remote_host
+
+    @property
+    def is_ready(self) -> bool:
+        """True while the channel can carry traffic (strategy guard)."""
+        return self.state is ChannelState.READY
 
     def queue_message(self, msg: XrdmaMessage) -> XrdmaMessage:
         """Accept a message for transmission (called by context.send_msg)."""
@@ -148,10 +143,9 @@ class XrdmaChannel:
             header = self._make_header(msg, seq)
             self.sent[seq] = msg
             msg.header = header
-            if header.large:
-                yield from self._send_announce(msg, header)
-            else:
-                yield from self._send_small(msg, header)
+            yield from self.protocol.select(header).send(self, msg, header)
+            if self.state is not ChannelState.READY:
+                return      # broke during the send; mark_broken swept us
             self.stats["tx_msgs"] += 1
             self.stats["tx_bytes"] += msg.payload_size
             self.last_tx_ns = self.ctx.sim.now
@@ -162,7 +156,7 @@ class XrdmaChannel:
         header = XrdmaHeader(
             kind=msg.kind, seq=seq, ack=self.window.ack_to_send(),
             msg_id=msg.msg_id, payload_size=msg.payload_size,
-            large=(msg.payload_size > config.small_msg_size),
+            large=self.protocol.is_large(msg.payload_size),
             request_msg_id=msg.request_msg_id,
             user_payload=msg.payload)
         if config.req_rsp_mode:
@@ -173,50 +167,34 @@ class XrdmaChannel:
                 header.trace = tracer.begin_trace(self, msg, header)
         return header
 
-    def _send_small(self, msg: XrdmaMessage,
-                    header: XrdmaHeader) -> ProcessGenerator:
-        wire = msg.payload_size + header.wire_bytes(self.ctx.config.req_rsp_mode)
-        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
-                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
-        self.ctx.route_wr(wr, self, _WrRoute(tag="small", message=msg,
-                                             seq=header.seq))
-        yield from self.flow.post(wr)
+    def send_control(self, kind: MessageKind, *, rendezvous_seq: int = -1,
+                     src_addr: int = 0, src_rkey: int = 0) -> ProcessGenerator:
+        """Generator: standalone control SEND (no window slot consumed).
 
-    def _send_announce(self, msg: XrdmaMessage,
-                       header: XrdmaHeader) -> ProcessGenerator:
-        # The payload must live in RDMA-enabled memory the peer can read.
-        if not isinstance(getattr(msg, "src_buffer", None), RdmaBuffer):
-            msg.src_buffer = yield from self.ctx.memcache.alloc(
-                msg.payload_size)
-            msg.owns_buffer = True
-        header.src_addr = msg.src_buffer.addr
-        header.src_rkey = msg.src_buffer.rkey
-        if header.trace is not None:
-            header.trace.mark("src_alloc")
-        wire = header.wire_bytes(self.ctx.config.req_rsp_mode)
-        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
-                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
-        self.ctx.route_wr(wr, self, _WrRoute(tag="announce", message=msg,
-                                             seq=header.seq))
-        yield from self.flow.post(wr)
-
-    def send_control(self, kind: MessageKind) -> ProcessGenerator:
-        """Generator: standalone ACK or NOP (no window slot consumed)."""
+        ACK and NOP for the window; RNDV_CTS for the write-rendezvous
+        grant (``rendezvous_seq`` + the receiver buffer's addr/rkey).
+        The ack bookkeeping runs *after* the post yield: if the post
+        fails or the channel breaks while this process is suspended, the
+        window must not believe an ack went out.
+        """
         header = XrdmaHeader(
             kind=kind, seq=-1, ack=self.window.ack_to_send(),
-            msg_id=0, payload_size=0)
+            msg_id=0, payload_size=0, src_addr=src_addr, src_rkey=src_rkey,
+            rendezvous_seq=rendezvous_seq)
         wr = WorkRequest(
             opcode=Opcode.SEND,
             length=header.wire_bytes(self.ctx.config.req_rsp_mode),
             payload=header)
         self.ctx.route_wr(wr, self, _WrRoute(tag="ctrl", header=header))
+        self.last_tx_ns = self.ctx.sim.now
+        yield self.ctx.verbs.post_send(self.qp, wr)
+        if self.state is not ChannelState.READY:
+            return      # broke mid-post; the ack never left
         self.window.note_ack_sent()
         if kind is MessageKind.ACK:
             self.stats["acks_sent"] += 1
         elif kind is MessageKind.NOP:
             self.stats["nops_sent"] += 1
-        self.last_tx_ns = self.ctx.sim.now
-        yield self.ctx.verbs.post_send(self.qp, wr)
 
     def keepalive_probe(self) -> ProcessGenerator:
         """Generator: zero-byte RDMA Write; the peer RNIC acks in hardware."""
@@ -238,6 +216,12 @@ class XrdmaChannel:
         if header.kind in (MessageKind.ACK, MessageKind.NOP):
             yield from self.pump()      # freed window slots: move the queue
             return
+        if header.kind in (MessageKind.RNDV_CTS, MessageKind.RNDV_FIN):
+            # Write-rendezvous control: rides with seq == -1 (like
+            # ACK/NOP, no window slot); correlated by rendezvous_seq.
+            yield from self.protocol.rendezvous.on_control(self, header)
+            yield from self.pump()      # its piggybacked ack freed slots
+            return
         if header.kind is MessageKind.CLOSE:
             yield from self.ctx.close_channel(self, notify=False)
             return
@@ -253,7 +237,7 @@ class XrdmaChannel:
         self.window.on_arrival(header.seq, complete=not header.large)
         if header.large:
             if not duplicate:
-                yield from self._start_rendezvous(header)
+                yield from self.protocol.rendezvous.on_announce(self, header)
         else:
             if not duplicate:
                 # Delivery is strictly in sequence order: a small message
@@ -303,32 +287,9 @@ class XrdmaChannel:
             if self.ctx.tracer is not None:
                 self.ctx.tracer.on_message_acked(self, msg)
 
-    def _start_rendezvous(self, header: XrdmaHeader) -> ProcessGenerator:
-        """Receiver-side on-demand buffer + fragmented RDMA Read."""
-        if invariants.ENABLED:
-            _invariant(header.seq not in self._rendezvous,
-                       "channel.duplicate_rendezvous",
-                       lambda: f"channel {self.channel_id} seq {header.seq}")
-        buffer = yield from self.ctx.memcache.alloc(header.payload_size)
-        sizes = self.flow.fragment_sizes(header.payload_size)
-        rendezvous = _Rendezvous(
-            seq=header.seq, header=header, buffer=buffer,
-            fragments_left=len(sizes), started_at=self.ctx.sim.now)
-        self._rendezvous[header.seq] = rendezvous
-        self.stats["rendezvous_reads"] += len(sizes)
-        offset = 0
-        for index, size in enumerate(sizes):
-            wr = WorkRequest(
-                opcode=Opcode.READ, length=size,
-                remote_addr=header.src_addr + offset,
-                rkey=header.src_rkey)
-            self.ctx.route_wr(wr, self, _WrRoute(
-                tag="read", seq=header.seq,
-                last_fragment=(index == len(sizes) - 1), header=header))
-            offset += size
-            yield from self.flow.post(wr)
-
-    def _finish_rendezvous(self, seq: int) -> None:
+    def _finish_rendezvous(self, seq: int) -> ProcessGenerator:
+        """Generator: the payload has landed — complete the window slot,
+        stage delivery, and release the landing buffer (idempotent)."""
         rendezvous = self._rendezvous.pop(seq, None)
         if rendezvous is None:
             return
@@ -380,8 +341,7 @@ class XrdmaChannel:
             return
         # Data WRs participate in flow control.
         yield from self.flow.on_completion()
-        if route.tag == "read" and route.last_fragment:
-            yield from self._finish_rendezvous(route.seq)
+        yield from self.protocol.rendezvous.on_data_completion(self, route)
 
     # -------------------------------------------------------------- failure
     def mark_broken(self, reason: str) -> None:
@@ -403,6 +363,9 @@ class XrdmaChannel:
         self.sent.clear()
         self.pending_send.clear()
         self.pending_requests.clear()
+        # Write-rendezvous messages awaiting a CTS are also in `sent`
+        # (their buffers were just freed above); drop the correlation.
+        self._write_pending.clear()
         for rendezvous in self._rendezvous.values():
             if rendezvous.buffer is not None:
                 self.ctx.memcache.free(rendezvous.buffer)

@@ -54,6 +54,11 @@ class XrdmaConfig:
     fork_safe: bool = False
     ibqp_alloc_type: str = "anonymous"   #: anonymous | contiguous | hugepage
     small_msg_size: int = 4096           #: ≤ this uses eager RDMA Send
+    #: rendezvous data movement above the eager threshold: "read" is the
+    #: paper's receiver-driven RDMA Read; "write" is sender
+    #: Write-with-notify (CTS grant + WRITE_IMM FIN).  Both channel ends
+    #: must agree, exactly like small_msg_size.
+    rendezvous_variant: str = "read"
     inflight_depth: int = 32             #: seq-ack window (≪ CQ depth)
     fragment_bytes: int = 64 * 1024      #: flow-control fragment size
     max_outstanding_wrs: int = 8         #: queuing cap per channel
@@ -81,6 +86,9 @@ class XrdmaConfig:
             raise ConfigError("inflight_depth must stay below cq_size")
         if self.small_msg_size <= 0 or self.fragment_bytes <= 0:
             raise ConfigError("sizes must be positive")
+        if self.rendezvous_variant not in ("read", "write"):
+            raise ConfigError(
+                f"unknown rendezvous_variant {self.rendezvous_variant!r}")
         if self.max_outstanding_wrs < 1:
             raise ConfigError("max_outstanding_wrs must be >= 1")
         if self.context_outstanding_wrs < 1:

@@ -206,6 +206,12 @@ class XrdmaContext:
         first = True
         for _ in range(count):
             buffer = yield from self.memcache.alloc(recv_bytes)
+            if channel.state is not ChannelState.READY:
+                # The channel died during the alloc yield: mark_broken
+                # already swept _recv_buffers, so installing this buffer
+                # would leak it onto a dead channel.
+                self.memcache.free(buffer)
+                return
             if first and setup_trace is not None:
                 setup_trace.mark("mr_reg")
             first = False

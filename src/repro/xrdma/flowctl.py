@@ -16,7 +16,7 @@ specific hardware or software constraints").
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, List, Optional
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from repro.analysis.invariants import check as _invariant
 from repro.rnic.wqe import WorkRequest
@@ -134,6 +134,22 @@ class FlowController:
             sizes.append(step)
             remaining -= step
         return sizes
+
+    def fragment_layout(self, length: int) -> List[Tuple[int, int, bool]]:
+        """``(offset, size, last)`` triples for one payload.
+
+        The posting plan the protocol strategies share: receiver-Read
+        rendezvous issues one READ per triple, sender-Write rendezvous
+        one WRITE (the last a WRITE_IMM) — same fragmentation policy,
+        different opcode.
+        """
+        sizes = self.fragment_sizes(length)
+        layout = []
+        offset = 0
+        for index, size in enumerate(sizes):
+            layout.append((offset, size, index == len(sizes) - 1))
+            offset += size
+        return layout
 
     # --------------------------------------------------------------- posting
     def _may_issue(self) -> bool:

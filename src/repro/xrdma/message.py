@@ -34,6 +34,8 @@ class MessageKind(Enum):
     NOP = auto()         #: deadlock breaker (Sec. V-B)
     KEEPALIVE = auto()   #: zero-byte probe (never reaches the application)
     CLOSE = auto()       #: orderly shutdown; lets both sides recycle QPs
+    RNDV_CTS = auto()    #: write-rendezvous grant: receiver names its buffer
+    RNDV_FIN = auto()    #: write-rendezvous notify (rides the last WRITE_IMM)
 
 
 @dataclass
@@ -49,6 +51,9 @@ class XrdmaHeader:
     src_addr: int = 0
     src_rkey: int = 0
     large: bool = False
+    #: write-rendezvous correlation: the data seq a control header
+    #: (RNDV_CTS / RNDV_FIN, which ride with ``seq=-1``) refers to
+    rendezvous_seq: int = -1
     #: RPC correlation
     request_msg_id: int = 0
     #: req-rsp tracing fields

@@ -1,0 +1,346 @@
+"""Pluggable messaging-protocol strategies (the Taranov taxonomy axes).
+
+X-RDMA fixes one design point of the messaging protocol (Sec. IV-C):
+eager SEND_IMM below ``small_msg_size``, receiver-driven rendezvous Read
+above it.  This module makes that point *searchable*: the channel's send
+and rendezvous paths are strategy objects selected per message by a
+:class:`ProtocolPolicy`, so XR-Fleet can grid the protocol axes —
+
+* **eager threshold** (``small_msg_size``) — where eager hands over to
+  rendezvous,
+* **rendezvous variant** (``rendezvous_variant``) — who moves the bytes:
+
+  - ``read`` (the paper's design): the announce carries the *sender's*
+    buffer (addr, rkey); the receiver allocates on demand and RDMA-Reads
+    the payload in fragments.  One control message (the announce), and
+    "Read replaces Write" serves large RPC responses for free.
+  - ``write`` (sender Write-with-notify): the announce carries only the
+    size; the receiver allocates and answers with an ``RNDV_CTS``
+    control naming *its* buffer; the sender RDMA-Writes the fragments
+    and folds the notify into the last one as a WRITE_IMM carrying an
+    ``RNDV_FIN`` header.  RC ordering guarantees every plain Write has
+    landed when the IMM completes, so the FIN is the delivery signal.
+
+* **fragment size** (``fragment_bytes``) and **window depth**
+  (``inflight_depth``) ride along through the existing flow-control and
+  seq-ack machinery.
+
+Strategies are stateless singletons — all per-transfer state lives on
+the channel (``_rendezvous`` receiver-side, ``_write_pending``
+sender-side), so a strategy never outlives or leaks a channel.
+
+Every strategy body is a generator driven by the owning context's
+run-to-complete loop; each ``yield`` hands the scheduler to every other
+simulation process, so shared channel state must be re-validated after
+every yield (the XR401 stale-guard doctrine — the re-checks below are
+load-bearing, not defensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.analysis import invariants
+from repro.analysis.invariants import check as _invariant
+from repro.rnic.wqe import Opcode, WorkRequest
+from repro.sim.process import ProcessGenerator
+from repro.xrdma.memcache import RdmaBuffer
+from repro.xrdma.message import MessageKind, XrdmaHeader, XrdmaMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xrdma.channel import XrdmaChannel
+    from repro.xrdma.config import XrdmaConfig
+
+__all__ = ["ProtocolPolicy", "EagerStrategy", "RendezvousStrategy",
+           "ReadRendezvous", "WriteRendezvous", "rendezvous_variant_names",
+           "_WrRoute", "_Rendezvous"]
+
+
+@dataclass
+class _WrRoute:
+    """Send-CQE demultiplexing record."""
+
+    tag: str                       #: small|announce|ctrl|read|write|keepalive
+    message: Optional[XrdmaMessage] = None
+    seq: int = -1
+    last_fragment: bool = False
+    header: Optional[XrdmaHeader] = None
+
+
+@dataclass
+class _Rendezvous:
+    """Receiver-side state for one in-progress large-message transfer."""
+
+    seq: int
+    header: XrdmaHeader
+    buffer: Optional[RdmaBuffer]
+    fragments_left: int
+    started_at: int
+
+
+class EagerStrategy:
+    """Small messages: one eager SEND_IMM, receive buffers pre-posted."""
+
+    name = "eager"
+
+    def send(self, channel: "XrdmaChannel", msg: XrdmaMessage,
+             header: XrdmaHeader) -> ProcessGenerator:
+        wire = msg.payload_size + header.wire_bytes(
+            channel.ctx.config.req_rsp_mode)
+        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
+                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
+        channel.ctx.route_wr(wr, channel, _WrRoute(tag="small", message=msg,
+                                                   seq=header.seq))
+        yield from channel.flow.post(wr)
+
+
+class RendezvousStrategy:
+    """Large messages: how the payload crosses once announced.
+
+    Subclasses implement the sender's announce (:meth:`send`), the
+    receiver's reaction to it (:meth:`on_announce`), rendezvous control
+    messages (:meth:`on_control` — RNDV_CTS/RNDV_FIN), and any send-CQE
+    follow-up (:meth:`on_data_completion`).  All are generators; a body
+    with nothing to do simply returns (``yield from`` of an empty
+    generator adds no simulation events, which is what keeps the default
+    strategy schedule-identical to the pre-refactor channel).
+    """
+
+    name = "?"
+
+    def send(self, channel: "XrdmaChannel", msg: XrdmaMessage,
+             header: XrdmaHeader) -> ProcessGenerator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def on_announce(self, channel: "XrdmaChannel",
+                    header: XrdmaHeader) -> ProcessGenerator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def on_control(self, channel: "XrdmaChannel",
+                   header: XrdmaHeader) -> ProcessGenerator:
+        return
+        yield  # pragma: no cover
+
+    def on_data_completion(self, channel: "XrdmaChannel",
+                           route: _WrRoute) -> ProcessGenerator:
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------ shared
+    @staticmethod
+    def _alloc_checked(channel: "XrdmaChannel",
+                       size: int) -> ProcessGenerator:
+        """Allocate RDMA memory, surviving a mid-alloc channel death.
+
+        ``memcache.alloc`` yields on arena growth; if ``mark_broken``
+        runs while this process is suspended there, its cleanup has
+        already swept the channel — installing fresh state afterwards
+        would leak the buffer onto a dead channel.  Returns None (buffer
+        freed) in that case; callers must bail out.
+        """
+        buffer = yield from channel.ctx.memcache.alloc(size)
+        if not channel.is_ready:
+            channel.ctx.memcache.free(buffer)
+            return None
+        return buffer
+
+
+class ReadRendezvous(RendezvousStrategy):
+    """The paper's receiver-driven rendezvous (Sec. IV-C).
+
+    The announce SEND carries (size, src_addr, src_rkey); the receiver
+    allocates on demand and RDMA-Reads the payload in flow-controlled
+    fragments, completing the window slot when the last Read's CQE
+    arrives.
+    """
+
+    name = "read"
+
+    def send(self, channel: "XrdmaChannel", msg: XrdmaMessage,
+             header: XrdmaHeader) -> ProcessGenerator:
+        # The payload must live in RDMA-enabled memory the peer can read.
+        if not isinstance(getattr(msg, "src_buffer", None), RdmaBuffer):
+            buffer = yield from self._alloc_checked(channel,
+                                                    msg.payload_size)
+            if buffer is None:
+                return      # channel died during the alloc; pump() stops
+            msg.src_buffer = buffer
+            msg.owns_buffer = True
+        header.src_addr = msg.src_buffer.addr
+        header.src_rkey = msg.src_buffer.rkey
+        if header.trace is not None:
+            header.trace.mark("src_alloc")
+        wire = header.wire_bytes(channel.ctx.config.req_rsp_mode)
+        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
+                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
+        channel.ctx.route_wr(wr, channel,
+                             _WrRoute(tag="announce", message=msg,
+                                      seq=header.seq))
+        yield from channel.flow.post(wr)
+
+    def on_announce(self, channel: "XrdmaChannel",
+                    header: XrdmaHeader) -> ProcessGenerator:
+        """Receiver-side on-demand buffer + fragmented RDMA Read."""
+        if invariants.ENABLED:
+            _invariant(header.seq not in channel._rendezvous,
+                       "channel.duplicate_rendezvous",
+                       lambda: f"channel {channel.channel_id} "
+                               f"seq {header.seq}")
+        buffer = yield from self._alloc_checked(channel, header.payload_size)
+        if buffer is None:
+            return          # mark_broken swept the channel mid-alloc
+        layout = channel.flow.fragment_layout(header.payload_size)
+        rendezvous = _Rendezvous(
+            seq=header.seq, header=header, buffer=buffer,
+            fragments_left=len(layout), started_at=channel.ctx.sim.now)
+        channel._rendezvous[header.seq] = rendezvous
+        channel.stats["rendezvous_reads"] += len(layout)
+        for offset, size, last in layout:
+            wr = WorkRequest(
+                opcode=Opcode.READ, length=size,
+                remote_addr=header.src_addr + offset,
+                rkey=header.src_rkey)
+            channel.ctx.route_wr(wr, channel, _WrRoute(
+                tag="read", seq=header.seq, last_fragment=last,
+                header=header))
+            yield from channel.flow.post(wr)
+
+    def on_data_completion(self, channel: "XrdmaChannel",
+                           route: _WrRoute) -> ProcessGenerator:
+        if route.tag == "read" and route.last_fragment:
+            yield from channel._finish_rendezvous(route.seq)
+
+
+class WriteRendezvous(RendezvousStrategy):
+    """Sender Write-with-notify (the Taranov write-based rendezvous).
+
+    The announce SEND carries only the size; the receiver allocates and
+    grants with an RNDV_CTS control naming its buffer (addr, rkey); the
+    sender RDMA-Writes the fragments, folding the notify into the last
+    one as a WRITE_IMM whose payload is an RNDV_FIN header.  RC ordering
+    means every preceding Write has landed when the IMM's receive
+    completion fires, so the FIN both notifies and completes the window
+    slot.  Two control messages per transfer instead of one, but the
+    data flows sender-paced — no Read round-trip per fragment window.
+    """
+
+    name = "write"
+
+    def send(self, channel: "XrdmaChannel", msg: XrdmaMessage,
+             header: XrdmaHeader) -> ProcessGenerator:
+        # The source buffer is wired up front: the CTS may arrive at any
+        # poll round and the Writes must be able to start immediately.
+        if not isinstance(getattr(msg, "src_buffer", None), RdmaBuffer):
+            buffer = yield from self._alloc_checked(channel,
+                                                    msg.payload_size)
+            if buffer is None:
+                return
+            msg.src_buffer = buffer
+            msg.owns_buffer = True
+        if header.trace is not None:
+            header.trace.mark("src_alloc")
+        channel._write_pending[header.seq] = msg
+        wire = header.wire_bytes(channel.ctx.config.req_rsp_mode)
+        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
+                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
+        channel.ctx.route_wr(wr, channel,
+                             _WrRoute(tag="announce", message=msg,
+                                      seq=header.seq))
+        yield from channel.flow.post(wr)
+
+    def on_announce(self, channel: "XrdmaChannel",
+                    header: XrdmaHeader) -> ProcessGenerator:
+        """Receiver: allocate the landing buffer, grant with a CTS."""
+        if invariants.ENABLED:
+            _invariant(header.seq not in channel._rendezvous,
+                       "channel.duplicate_rendezvous",
+                       lambda: f"channel {channel.channel_id} "
+                               f"seq {header.seq}")
+        buffer = yield from self._alloc_checked(channel, header.payload_size)
+        if buffer is None:
+            return
+        rendezvous = _Rendezvous(
+            seq=header.seq, header=header, buffer=buffer,
+            fragments_left=0, started_at=channel.ctx.sim.now)
+        channel._rendezvous[header.seq] = rendezvous
+        yield from channel.send_control(
+            MessageKind.RNDV_CTS, rendezvous_seq=header.seq,
+            src_addr=buffer.addr, src_rkey=buffer.rkey)
+
+    def on_control(self, channel: "XrdmaChannel",
+                   header: XrdmaHeader) -> ProcessGenerator:
+        if header.kind is MessageKind.RNDV_CTS:
+            yield from self._on_cts(channel, header)
+        elif header.kind is MessageKind.RNDV_FIN:
+            # Idempotent: a duplicated FIN pops nothing and returns.
+            yield from channel._finish_rendezvous(header.rendezvous_seq)
+
+    def _on_cts(self, channel: "XrdmaChannel",
+                header: XrdmaHeader) -> ProcessGenerator:
+        """Sender: the grant arrived — stream the fragments, FIN last."""
+        msg = channel._write_pending.pop(header.rendezvous_seq, None)
+        if msg is None or not channel.is_ready:
+            return          # duplicated CTS, or the channel already died
+        data_header = msg.header
+        layout = channel.flow.fragment_layout(msg.payload_size)
+        channel.stats["rendezvous_writes"] += len(layout)
+        for offset, size, last in layout:
+            if last:
+                fin = XrdmaHeader(
+                    kind=MessageKind.RNDV_FIN, seq=-1,
+                    ack=channel.window.ack_to_send(), msg_id=0,
+                    payload_size=0, rendezvous_seq=data_header.seq)
+                wr = WorkRequest(
+                    opcode=Opcode.WRITE_IMM, length=size,
+                    remote_addr=header.src_addr + offset,
+                    rkey=header.src_rkey,
+                    imm_data=data_header.seq & 0xFFFF_FFFF, payload=fin)
+            else:
+                wr = WorkRequest(
+                    opcode=Opcode.WRITE, length=size,
+                    remote_addr=header.src_addr + offset,
+                    rkey=header.src_rkey)
+            channel.ctx.route_wr(wr, channel, _WrRoute(
+                tag="write", message=msg, seq=data_header.seq,
+                last_fragment=last))
+            yield from channel.flow.post(wr)
+
+
+#: stateless strategy singletons (all state lives on the channel)
+_EAGER = EagerStrategy()
+_VARIANTS: Dict[str, RendezvousStrategy] = {
+    ReadRendezvous.name: ReadRendezvous(),
+    WriteRendezvous.name: WriteRendezvous(),
+}
+
+
+def rendezvous_variant_names() -> List[str]:
+    """Registered rendezvous variant names (config validation, sweeps)."""
+    return sorted(_VARIANTS)
+
+
+class ProtocolPolicy:
+    """Per-message strategy selection from one :class:`XrdmaConfig`.
+
+    Eager below the threshold, the configured rendezvous variant above
+    it.  The policy is evaluated once per message in ``_make_header``
+    (setting ``header.large``) and dispatched on in ``pump`` — both ends
+    of a channel must be configured with the same variant, exactly as
+    both ends must agree on ``small_msg_size`` today.
+    """
+
+    def __init__(self, config: "XrdmaConfig") -> None:
+        self.eager = _EAGER
+        self.rendezvous = _VARIANTS[config.rendezvous_variant]
+        self.threshold = config.small_msg_size
+
+    def is_large(self, payload_size: int) -> bool:
+        """Does a payload take the rendezvous path?"""
+        return payload_size > self.threshold
+
+    def select(self, header: XrdmaHeader):
+        """The strategy that sends a message with this header."""
+        return self.rendezvous if header.large else self.eager

@@ -1,0 +1,47 @@
+"""XR401 negative fixture: the channel alloc paths AFTER the PR 10 fix.
+
+The lifecycle re-check is either centralized (``_alloc_checked`` frees
+the buffer and bails when the channel died during the yield; its callers
+acquire through it, not through ``alloc`` directly) or inline (the
+``prime`` shape re-checks ``channel.state`` right after the yield).
+Nothing installs an alloc-yield result into shared state on a possibly
+dead channel, so the alloc-install scan stays silent.
+"""
+
+
+class ReadRendezvous:
+    @staticmethod
+    def _alloc_checked(channel, size):
+        buffer = yield from channel.ctx.memcache.alloc(size)
+        if not channel.is_ready:
+            channel.ctx.memcache.free(buffer)
+            return None
+        return buffer
+
+    def send(self, channel, msg, header):
+        buffer = yield from self._alloc_checked(channel, msg.payload_size)
+        if buffer is None:
+            return
+        msg.src_buffer = buffer
+        msg.owns_buffer = True
+        header.src_addr = buffer.addr
+        header.src_rkey = buffer.rkey
+        yield from channel.flow.post(WorkRequest(payload=header))
+
+    def on_announce(self, channel, header):
+        buffer = yield from self._alloc_checked(channel,
+                                                header.payload_size)
+        if buffer is None:
+            return
+        rendezvous = _Rendezvous(seq=header.seq, header=header,
+                                 buffer=buffer)
+        channel._rendezvous[header.seq] = rendezvous
+
+
+class XrdmaContext:
+    def _prime_channel(self, channel, recv_bytes):
+        buffer = yield from self.memcache.alloc(recv_bytes)
+        if channel.state is not ChannelState.READY:
+            self.memcache.free(buffer)
+            return
+        channel._recv_buffers.append(buffer)

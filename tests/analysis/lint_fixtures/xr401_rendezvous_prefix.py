@@ -1,0 +1,46 @@
+"""XR401 positive fixture: the channel send/rendezvous paths as they
+stood BEFORE the PR 10 fix — the alloc-install races.
+
+Both methods resume from a ``memcache.alloc`` yield (the whole
+simulation runs while this process is suspended, including
+``mark_broken``, which sweeps ``_rendezvous`` and the send queue) and
+then install the fresh buffer into shared channel state without
+re-checking the channel lifecycle: ``_start_rendezvous`` resurrects a
+rendezvous entry and issues READs on a BROKEN channel, and
+``_send_announce`` stamps the buffer straight onto the in-flight
+message at the acquire itself.  Either way the buffer leaks —
+``mark_broken`` already ran its sweep and will never see it.
+"""
+
+
+class XrdmaChannel:
+    def _send_announce(self, msg, header):
+        if not isinstance(getattr(msg, "src_buffer", None), RdmaBuffer):
+            msg.src_buffer = yield from self.ctx.memcache.alloc(
+                msg.payload_size)                   # XR401: fused install
+            msg.owns_buffer = True
+        header.src_addr = msg.src_buffer.addr
+        header.src_rkey = msg.src_buffer.rkey
+        wire = header.wire_bytes(self.ctx.config.req_rsp_mode)
+        wr = WorkRequest(opcode=Opcode.SEND_IMM, length=wire,
+                         imm_data=header.ack & 0xFFFF_FFFF, payload=header)
+        self.ctx.route_wr(wr, self, _WrRoute(tag="announce", message=msg,
+                                             seq=header.seq))
+        yield from self.flow.post(wr)
+
+    def _start_rendezvous(self, header):
+        buffer = yield from self.ctx.memcache.alloc(header.payload_size)
+        sizes = self.flow.fragment_sizes(header.payload_size)
+        rendezvous = _Rendezvous(
+            seq=header.seq, header=header, buffer=buffer,
+            fragments_left=len(sizes), started_at=self.ctx.sim.now)
+        self._rendezvous[header.seq] = rendezvous   # XR401: stale lifecycle
+        self.stats["rendezvous_reads"] += len(sizes)
+        offset = 0
+        for index, size in enumerate(sizes):
+            wr = WorkRequest(
+                opcode=Opcode.READ, length=size,
+                remote_addr=header.src_addr + offset,
+                rkey=header.src_rkey)
+            offset += size
+            yield from self.flow.post(wr)

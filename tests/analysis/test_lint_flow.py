@@ -59,6 +59,64 @@ def test_xr401_recheck_must_match_the_guard_fingerprint():
     assert [f.code for f in findings] == ["XR401"]
 
 
+# ------------------------------------------------ XR401 (alloc-install)
+def test_xr401_fires_on_prefix_rendezvous_alloc_races():
+    findings = lint_fixture("xr401_rendezvous_prefix.py", "stale-guard")
+    assert [f.code for f in findings] == ["XR401", "XR401"]
+    # One hit per racy path: the fused `msg.src_buffer = yield from
+    # alloc(...)` install in _send_announce and the `_rendezvous[seq] =`
+    # install in _start_rendezvous.
+    assert {f.line for f in findings} == {19, 37}
+    assert "alloc" in findings[0].message
+    assert "re-check" in findings[0].message
+
+
+def test_xr401_silent_on_fixed_rendezvous_paths():
+    assert lint_fixture("xr401_rendezvous_fixed.py", "stale-guard") == []
+
+
+def test_xr401_alloc_install_needs_the_guard_before_the_install():
+    # The re-check must sit between the yield and the install; one after
+    # the install does not un-race it.
+    findings = lint("""
+        class Channel:
+            def start(self, header):
+                buffer = yield from self.ctx.memcache.alloc(header.size)
+                self._rendezvous[header.seq] = buffer
+                if self.state is not ChannelState.READY:
+                    return
+        """, rule="stale-guard")
+    assert [f.code for f in findings] == ["XR401"]
+    assert findings[0].line == 5
+
+
+def test_xr401_alloc_install_tracks_wrapper_aliases():
+    # Wrapping the buffer in a dataclass before installing it is still
+    # an install of the allocation.
+    findings = lint("""
+        class Channel:
+            def start(self, header):
+                buffer = yield from self.ctx.memcache.alloc(header.size)
+                entry = Rendezvous(seq=header.seq, buffer=buffer)
+                self._rendezvous[header.seq] = entry
+        """, rule="stale-guard")
+    assert [f.code for f in findings] == ["XR401"]
+    assert findings[0].line == 6
+
+
+def test_xr401_alloc_into_bare_local_is_not_an_install():
+    # A local list cannot be reached by mark_broken — not shared state.
+    findings = lint("""
+        def warm(ctx, sizes):
+            buffers = []
+            for size in sizes:
+                buffer = yield from ctx.memcache.alloc(size)
+                buffers.append(buffer)
+            return buffers
+        """, rule="stale-guard")
+    assert findings == []
+
+
 # ---------------------------------------------------------------- XR402
 def test_xr402_fires_on_prefix_connect_leak():
     findings = lint_fixture("xr402_connect_prefix.py",

@@ -325,6 +325,41 @@ def test_swallowed_error_allows_narrow_or_reraising_handlers():
     assert findings == []
 
 
+# ---------------------------------------------------------------- XR304
+def test_generator_annotated_none_flags_the_finish_rendezvous_shape():
+    # The exact pre-PR-10 `_finish_rendezvous` defect: a generator whose
+    # `-> None` annotation invites call sites to drop the `yield from`.
+    findings = lint("""
+        def _finish_rendezvous(self, seq: int) -> None:
+            rendezvous = self._rendezvous.pop(seq, None)
+            if rendezvous is None:
+                return
+            self.window.on_complete(seq)
+            yield from self._post_arrival_duties()
+        """, rule="generator-annotated-none")
+    assert codes(findings) == ["XR304"]
+    assert "_finish_rendezvous" in findings[0].message
+
+
+def test_generator_annotated_none_leaves_correct_annotations_alone():
+    findings = lint("""
+        def fixed(self, seq: int) -> ProcessGenerator:
+            yield from self._post_arrival_duties()
+
+        def plain(self, seq: int) -> None:
+            self._rendezvous.pop(seq, None)
+
+        def unannotated(self):
+            yield self.sim.timeout(5)
+
+        def outer(self) -> None:
+            def inner():
+                yield 1
+            return None
+        """, rule="generator-annotated-none")
+    assert findings == []
+
+
 # ------------------------------------------------------------ suppression
 def test_line_suppression_silences_one_line_only():
     src = """
